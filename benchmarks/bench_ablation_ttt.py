@@ -1,0 +1,33 @@
+"""Ablation: time-to-trigger's effect on handoff stability.
+
+TTT exists to suppress measurement-noise-driven handoffs; this ablation
+sweeps it with a fixed A3 offset and reports the handoff count and
+ping-pong rate.  Expected shape: zero TTT is the most trigger-happy
+configuration; raising TTT reduces churn.
+"""
+
+import pytest
+
+from repro.config.events import EventConfig, EventType
+from repro.experiments.controlled import run_controlled_drive
+
+
+def test_ablation_time_to_trigger(benchmark, scenario):
+    def sweep():
+        metrics = {}
+        for ttt in (0, 320, 1280):
+            events = (
+                EventConfig(event=EventType.A3, offset=3.0, hysteresis=1.0,
+                            time_to_trigger_ms=ttt),
+            )
+            metrics[ttt] = run_controlled_drive(events, scenario=scenario)
+        return metrics
+
+    metrics = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("== ablation: time-to-trigger (fixed A3 offset 3 dB) ==")
+    for ttt, m in metrics.items():
+        print(f"  TTT={ttt:>5} ms  handoffs={m.n_handoffs:>3}  "
+              f"ping-pong={m.ping_pong_rate:.2f}  "
+              f"thpt={m.mean_throughput_bps / 1e6:.2f} Mbps")
+    assert metrics[0].n_handoffs >= metrics[1280].n_handoffs

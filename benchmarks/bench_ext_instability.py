@@ -1,0 +1,13 @@
+"""Extension benchmark: runtime handoff instability analysis."""
+
+from repro.experiments import registry
+
+
+def test_ext_instability(run_once, d1):
+    result = run_once(lambda: registry.run("ext-instability", d1=d1))
+    print()
+    print(result.formatted())
+    data_rows = [row for row in result.rows[1:]]
+    assert data_rows
+    # Ping-pong rates are rates: within [0, 1] everywhere.
+    assert all(0.0 <= row[3] <= 1.0 for row in data_rows)

@@ -1,0 +1,16 @@
+"""Extension benchmark: per-carrier policy inference."""
+
+from repro.experiments import registry
+
+
+def test_ext_policy_inference(run_once, d2):
+    result = run_once(lambda: registry.run("ext-policies", d2=d2))
+    print()
+    print(result.formatted())
+    rows = {row[0]: row for row in result.rows[1:]}
+    assert set(rows) >= {"A", "T", "SK"}
+    # AT&T's permissive A5 pairs push it toward the performance-driven
+    # end; every carrier's label shares sum to ~1.
+    for carrier, row in rows.items():
+        assert abs(row[2] + row[3] + row[4] - 1.0) < 1e-6
+    assert rows["A"][2] > 0.1  # a visible performance-driven share

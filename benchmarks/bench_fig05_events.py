@@ -1,0 +1,19 @@
+"""Fig. 5 benchmark: decisive reporting events per carrier."""
+
+from repro.experiments import registry
+
+
+def test_fig05_event_mix(run_once, d1):
+    result = run_once(lambda: registry.run("fig05", d1=d1))
+    print()
+    print(result.formatted())
+    header, *rows = result.rows
+    shares = {row[0]: dict(zip(header[1:], row[1:])) for row in rows}
+    # Paper shape: A3 is the most popular decisive event in both
+    # carriers; A1/A4 are rare; B/C events never appear.
+    for carrier in ("A", "T"):
+        assert shares[carrier]["A3%"] == max(shares[carrier].values())
+        assert shares[carrier]["A1%"] < 5.0
+        assert shares[carrier]["A4%"] < 5.0
+    # AT&T leans on A5 as its second policy (paper: 26.1%).
+    assert shares["A"]["A5%"] > shares["A"]["P%"]

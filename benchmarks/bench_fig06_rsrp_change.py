@@ -1,0 +1,17 @@
+"""Fig. 6 benchmark: RSRP changes in active handoffs."""
+
+from repro.experiments import registry
+
+
+def test_fig06_rsrp_change(run_once, d1):
+    result = run_once(lambda: registry.run("fig06", d1=d1))
+    print()
+    print(result.formatted())
+    rows = {row[0]: row for row in result.rows[1:]}
+    # Paper shape: A3 and P largely ensure better radio after the
+    # handoff (~87%, ~94% with margin), A5 only about half (52%).
+    assert rows["A3"][2] > 75.0
+    assert rows["A5"][2] < rows["A3"][2]
+    # Weaker-signal A5 handoffs concentrate in the negative pairs.
+    if rows["A5(-) split"][1] >= 5:
+        assert rows["A5(-) split"][2] <= rows["A5(+) split"][2]

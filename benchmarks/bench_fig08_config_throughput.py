@@ -1,0 +1,15 @@
+"""Fig. 8 benchmark: throughput impact per decisive configuration."""
+
+from repro.experiments import registry
+
+
+def test_fig08_config_throughput(run_once, d1):
+    result = run_once(lambda: registry.run("fig08", d1=d1))
+    print()
+    print(result.formatted())
+    rows = [row for row in result.rows[1:] if row[2] > 0]
+    assert rows, "no populated configuration groups"
+    # AT&T's permissive A5 serving threshold (-44 dBm) should appear as
+    # one of the dominant configurations, as in the paper.
+    labels = {row[1] for row in result.rows[1:] if row[0] == "A"}
+    assert any(label.startswith("A5(") for label in labels)

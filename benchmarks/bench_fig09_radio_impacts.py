@@ -1,0 +1,28 @@
+"""Fig. 9 benchmark: configurations act on radio quality as configured."""
+
+from collections import defaultdict
+
+from repro.experiments import registry
+
+
+def test_fig09_radio_impacts(run_once, d1):
+    result = run_once(lambda: registry.run("fig09", d1=d1))
+    print()
+    print(result.formatted())
+    relations = defaultdict(list)
+    for row in result.rows[1:]:
+        relations[row[0]].append((row[1], row[3], row[2]))  # (value, median, n)
+    # Paper: "handoffs are performed as configured" — larger A3 offsets
+    # yield larger RSRP gains (weighted trend over populated groups).
+    a3 = [(v, m) for v, m, n in relations["a3_offset_vs_delta"] if n >= 3]
+    if len(a3) >= 2:
+        low = min(a3, key=lambda t: t[0])
+        high = max(a3, key=lambda t: t[0])
+        assert high[1] >= low[1] - 1.0
+    # Stricter serving thresholds (more negative) mean weaker r_old.
+    a5 = [(v, m) for v, m, n in relations["a5_serving_vs_old"]
+          if n >= 3 and v <= -40.0]
+    if len(a5) >= 2:
+        permissive = max(a5, key=lambda t: t[0])  # e.g. -44
+        strict = min(a5, key=lambda t: t[0])      # e.g. -118
+        assert strict[1] <= permissive[1] + 2.0

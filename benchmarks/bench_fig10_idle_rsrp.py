@@ -1,0 +1,18 @@
+"""Fig. 10 benchmark: RSRP changes in idle-state handoffs."""
+
+from repro.experiments import registry
+
+
+def test_fig10_idle_rsrp(run_once, d1):
+    result = run_once(lambda: registry.run("fig10", d1=d1))
+    print()
+    print(result.formatted())
+    rows = {row[0]: row for row in result.rows[1:]}
+    # Paper shape: intra and equal-priority reselections essentially
+    # always improve; only higher-priority targets may be weaker.
+    if rows["intra"][1] >= 5:
+        assert rows["intra"][2] >= 95.0
+    if rows["non-intra(E)"][1] >= 5:
+        assert rows["non-intra(E)"][2] >= 95.0
+    if rows["non-intra(H)"][1] >= 5:
+        assert rows["non-intra(H)"][2] < 95.0

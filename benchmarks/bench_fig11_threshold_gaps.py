@@ -1,0 +1,17 @@
+"""Fig. 11 benchmark: measurement vs decision threshold gaps."""
+
+from repro.experiments import registry
+
+
+def test_fig11_threshold_gaps(run_once, d2):
+    result = run_once(lambda: registry.run("fig11", d2=d2))
+    print()
+    print(result.formatted())
+    rows = {row[0]: row for row in result.rows}
+    # Paper shape: Theta_intra >= Theta_nonintra holds universally, a
+    # few percent of cells tie, and large premature-measurement gaps
+    # dominate the population.
+    assert rows["violations (intra < nonintra)"][1] == 0.0
+    assert 0.0 < rows["tie fraction (intra == nonintra)"][1] < 0.15
+    assert rows["premature (gap > 30 dB)"][1] > 0.5
+    assert rows["late non-intra (nonintra < serving-low)"][1] > 0.0

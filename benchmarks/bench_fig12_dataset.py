@@ -1,0 +1,16 @@
+"""Fig. 12 benchmark: cells and samples per carrier."""
+
+from repro.experiments import registry
+
+
+def test_fig12_dataset_composition(run_once, d2):
+    result = run_once(lambda: registry.run("fig12", d2=d2))
+    print()
+    print(result.formatted())
+    rows = {row[0]: row for row in result.rows[1:]}
+    total = rows.pop("TOTAL")
+    # Paper shape: the four US carriers dominate the cell counts, and
+    # the long tail of international carriers contributes few cells.
+    us = sum(rows[c][1] for c in ("A", "T", "V", "S") if c in rows)
+    assert us > 0.5 * total[1]
+    assert len(rows) >= 10  # many carriers observed

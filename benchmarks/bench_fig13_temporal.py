@@ -1,0 +1,18 @@
+"""Fig. 13 benchmark: temporal dynamics of configurations."""
+
+from repro.experiments import registry
+
+
+def test_fig13_temporal_dynamics(run_once, d2):
+    result = run_once(lambda: registry.run("fig13", d2=d2))
+    print()
+    print(result.formatted())
+    rows = {row[0]: row for row in result.rows}
+    multi = rows["multi-sample cells"][1]
+    assert multi > 0.2  # enough repeated samples to study dynamics
+    idle = [float(v.rstrip("%")) for v in rows["idle changed"][1:]]
+    active = [float(v.rstrip("%")) for v in rows["active changed"][1:]]
+    # Paper shape: updates are rare and idle-state parameters are much
+    # more stable than active-state ones (0.4-1.6% vs 21-24%).
+    assert max(idle) < 10.0
+    assert max(active) > max(idle)

@@ -1,0 +1,25 @@
+"""Fig. 14 benchmark: distributions of eight representative parameters."""
+
+from repro.experiments import registry
+
+
+def test_fig14_parameter_distributions(run_once, d2):
+    result = run_once(lambda: registry.run("fig14", d2=d2))
+    print()
+    print(result.formatted())
+    rows = {row[0]: row for row in result.rows}
+    assert len(rows) == 8
+
+    def simpson(symbol):
+        return float(rows[symbol][1].split("=")[1])
+
+    def richness(symbol):
+        return int(rows[symbol][3].split("=")[1])
+
+    # Paper shape (AT&T): Hs single-valued; Delta_min dominated by one
+    # value; the threshold parameters rich in options.
+    assert richness("Hs") == 1
+    assert simpson("Delta_min") < 0.1
+    assert richness("Theta_s_lower") >= 8
+    assert richness("Theta_nonintra") >= 8
+    assert simpson("Ps") > 0.3

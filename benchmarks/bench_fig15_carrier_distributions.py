@@ -1,0 +1,22 @@
+"""Fig. 15 benchmark: four parameters across the nine study carriers."""
+
+from repro.experiments import registry
+
+
+def test_fig15_carrier_distributions(run_once, d2):
+    result = run_once(lambda: registry.run("fig15", d2=d2))
+    print()
+    print(result.formatted())
+    # Paper shape: SK Telecom is single-valued for all four parameters.
+    sections = {}
+    current = None
+    for row in result.rows:
+        if str(row[0]).startswith("--"):
+            current = row[0]
+            sections[current] = {}
+        elif current is not None:
+            sections[current][row[0]] = row[1]
+    for section, carriers in sections.items():
+        sk = carriers.get("SK", "")
+        if sk and sk != "(none)":
+            assert len(sk.split()) == 1, (section, sk)

@@ -1,0 +1,17 @@
+"""Fig. 16 benchmark: diversity of every LTE parameter (AT&T)."""
+
+from repro.experiments import registry
+
+
+def test_fig16_all_parameter_diversity(run_once, d2):
+    result = run_once(lambda: registry.run("fig16", d2=d2))
+    print()
+    print(result.formatted())
+    rows = result.rows[1:]
+    simpsons = [row[2] for row in rows]
+    assert simpsons == sorted(simpsons)  # the paper's x-axis ordering
+    # Paper shape: a block of single/dominant-valued parameters at the
+    # left, rich diversity at the right.
+    assert simpsons[0] < 0.05
+    assert simpsons[-1] > 0.5
+    assert len(rows) >= 30  # most of the 66 parameters observed

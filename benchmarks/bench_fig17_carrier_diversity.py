@@ -1,0 +1,19 @@
+"""Fig. 17 benchmark: diversity of eight parameters across carriers."""
+
+from repro.experiments import registry
+from repro.experiments.fig15_carrier_distributions import STUDY_CARRIERS
+
+
+def test_fig17_carrier_diversity(run_once, d2):
+    result = run_once(lambda: registry.run("fig17", d2=d2))
+    print()
+    print(result.formatted())
+    header, *rows = result.rows
+    sk_index = list(header).index("SK")
+    a_index = list(header).index("A")
+    sk_values = [row[sk_index] for row in rows if str(row[0]).startswith("D(")]
+    a_values = [row[a_index] for row in rows if str(row[0]).startswith("D(")]
+    # Paper shape: SK Telecom exhibits the lowest diversity (all its
+    # parameters single-valued); AT&T is highly diverse.
+    assert max(sk_values) < 0.05
+    assert max(a_values) > 0.3

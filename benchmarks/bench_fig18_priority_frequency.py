@@ -1,0 +1,26 @@
+"""Fig. 18 benchmark: priority breakdown over frequency (AT&T)."""
+
+from repro.experiments import registry
+
+
+def test_fig18_priority_over_frequency(run_once, d2):
+    result = run_once(lambda: registry.run("fig18", d2=d2))
+    print()
+    print(result.formatted())
+    serving_rows = [row for row in result.rows[1:]
+                    if row[0] == "serving" and len(row) >= 4]
+    assert serving_rows
+    # Paper shape: band 30 (channel 9820) gets top priority, the
+    # LTE-exclusive 700 MHz bands (12/17) sit low.
+    by_band = {}
+    for _, channel, band, shares in serving_rows:
+        dominant = max(
+            (part for part in str(shares).split()),
+            key=lambda part: float(part.split(":")[1].rstrip("%")),
+        )
+        by_band.setdefault(band, []).append(int(dominant.split(":")[0]))
+    if 30 in by_band and 17 in by_band:
+        assert min(by_band[30]) > max(by_band[17])
+    multi = next(row for row in result.rows if row[0] == "multi-valued-cell fraction")
+    # ~6.3% of cells sit on multi-valued channels in the paper.
+    assert 0.0 < multi[1] < 0.3

@@ -1,0 +1,16 @@
+"""Fig. 19 benchmark: frequency dependence of every parameter (AT&T)."""
+
+from repro.experiments import registry
+
+
+def test_fig19_frequency_dependence(run_once, d2):
+    result = run_once(lambda: registry.run("fig19", d2=d2))
+    print()
+    print(result.formatted())
+    zetas = {row[0]: row[1] for row in result.rows[1:]}
+    # Paper shape: priorities are frequency-dependent; hysteresis and
+    # the relative A3 comparison are not.
+    assert zetas.get("cell_reselection_priority", 0.0) > 0.05
+    assert zetas.get("q_hyst", 1.0) < 0.05
+    if "a3_offset" in zetas and "a2_threshold" in zetas:
+        assert zetas["a3_offset"] <= zetas["cell_reselection_priority"] + 0.2

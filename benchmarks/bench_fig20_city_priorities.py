@@ -1,0 +1,15 @@
+"""Fig. 20 benchmark: city-level priority distributions."""
+
+from repro.experiments import registry
+
+
+def test_fig20_city_priorities(run_once, d2):
+    result = run_once(lambda: registry.run("fig20", d2=d2))
+    print()
+    print(result.formatted())
+    att = {
+        row[1]: row[2] for row in result.rows[1:] if row[0] == "A" and row[2] != "(none)"
+    }
+    # Paper shape: Chicago (C1) differs visibly from the other cities.
+    if "Chicago" in att and "Indianapolis" in att:
+        assert att["Chicago"] != att["Indianapolis"]

@@ -1,0 +1,22 @@
+"""Fig. 21 benchmark: spatial diversity of Ps vs neighborhood radius."""
+
+from repro.experiments import registry
+
+
+def test_fig21_spatial_diversity(run_once, d2):
+    result = run_once(lambda: registry.run("fig21", d2=d2))
+    print()
+    print(result.formatted())
+    medians = {}
+    for row in result.rows[1:]:
+        carrier, radius, n, median = row[0], row[1], row[2], row[3]
+        if n > 0:
+            medians.setdefault(carrier, {})[radius] = median
+    # Paper shape: AT&T/Verizon/Sprint fine-tune per cell (nonzero
+    # spatial diversity even at 0.5 km); T-Mobile's is ~zero.
+    tuned = [c for c in ("A", "V", "S") if medians.get(c, {}).get(0.5, 0.0) > 0.0]
+    assert tuned, "no per-cell-tuned carrier shows spatial diversity"
+    if "T" in medians and 0.5 in medians["T"]:
+        assert medians["T"][0.5] <= min(
+            medians[c][0.5] for c in tuned
+        )

@@ -1,0 +1,14 @@
+"""Fig. 22 benchmark: diversity across the RAT evolution."""
+
+from repro.experiments import registry
+
+
+def test_fig22_rat_evolution(run_once, d2):
+    result = run_once(lambda: registry.run("fig22", d2=d2))
+    print()
+    print(result.formatted())
+    medians = {row[0]: row[2] for row in result.rows[1:]}
+    # Paper shape: LTE and WCDMA rich; EVDO and GSM nearly static.
+    assert medians["A-LTE"] >= medians["A-GSM"]
+    assert medians["A-LTE"] >= medians["S-EVDO"]
+    assert medians["A-UMTS"] >= medians["A-GSM"]

@@ -1,0 +1,10 @@
+"""Table 2 benchmark: regenerate the LTE parameter catalog."""
+
+from repro.experiments import registry
+
+
+def test_tab02_parameter_catalog(run_once):
+    result = run_once(lambda: registry.run("tab02"))
+    print()
+    print(result.formatted())
+    assert len(result.rows) == 67  # header + the paper's 66 parameters

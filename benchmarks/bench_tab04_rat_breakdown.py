@@ -1,0 +1,16 @@
+"""Table 4 benchmark: parameter counts and cell shares per RAT."""
+
+from repro.experiments import registry
+
+
+def test_tab04_rat_breakdown(run_once, d2):
+    result = run_once(lambda: registry.run("tab04", d2=d2))
+    print()
+    print(result.formatted())
+    rows = {row[0]: row for row in result.rows[1:]}
+    # Paper: LTE 66 params / 72% of cells, dominating every other RAT.
+    assert rows["LTE"][1] == 66
+    assert rows["UMTS"][1] == 64
+    lte_share = rows["LTE"][2]
+    assert lte_share > 0.5
+    assert all(lte_share > rows[r][2] for r in ("UMTS", "GSM", "EVDO", "CDMA1x"))

@@ -1,0 +1,38 @@
+"""Benchmark fixtures: the shared default dataset builds.
+
+Building D1/D2 is the expensive part and is paid once per pytest
+process (the builders are process-cached); each benchmark then times
+the *analysis* that regenerates its table/figure, and prints the rows
+so a run doubles as a report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import default_d1, default_d2, default_scenario
+
+
+@pytest.fixture(scope="session")
+def d1():
+    return default_d1()
+
+
+@pytest.fixture(scope="session")
+def d2():
+    return default_d2()
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return default_scenario()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under the benchmark timer."""
+
+    def _run(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's full measurement study.
+
+Builds small D1 (Type-II drives) and D2 (Type-I crowdsourced
+collection) datasets and regenerates a selection of the paper's tables
+and figures from them.  This is the condensed version of what the
+benchmark suite does at full scale — useful to eyeball the study
+end-to-end in about a minute.
+
+Run:
+    python examples/measurement_study.py            # quick (small scale)
+    python examples/measurement_study.py --full     # default bench scale
+"""
+
+import sys
+
+from repro.datasets.d1 import D1Options, build_d1
+from repro.datasets.d2 import D2Options, build_d2
+from repro.experiments import registry
+
+
+def main(full: bool = False) -> None:
+    if full:
+        from repro.experiments.common import default_d1, default_d2
+
+        print("building the default-scale datasets (takes a few minutes)...")
+        d1 = default_d1()
+        d2 = default_d2()
+    else:
+        print("building small datasets...")
+        d1 = build_d1(D1Options(active_drives=2, idle_drives=2,
+                                drive_duration_s=420.0, carriers=("A", "T")))
+        d2 = build_d2(D2Options(n_volunteers=8, include_dense=True))
+    print(f"  D1: {len(d1.store)} handoff instances "
+          f"({len(d1.store.active())} active, {len(d1.store.idle())} idle)")
+    print(f"  D2: {len(d2.store):,} configuration samples from "
+          f"{len(d2.store.unique_cells()):,} cells")
+    print()
+    for exp_id in ("fig05", "fig06", "fig10"):
+        registry.run(exp_id, d1=d1).print()
+        print()
+    for exp_id in ("tab04", "fig11", "fig13", "fig17", "fig22"):
+        registry.run(exp_id, d2=d2).print()
+        print()
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv)

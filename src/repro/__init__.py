@@ -1,0 +1,36 @@
+"""Reproduction of "Mobility Support in Cellular Networks: A Measurement
+Study on Its Configurations and Implications" (IMC 2018).
+
+The package is organized bottom-up:
+
+* :mod:`repro.cellnet` — the cellular-network substrate (cells, bands,
+  carriers, deployments, radio propagation);
+* :mod:`repro.config` — the handoff configuration space (parameter
+  registry, reporting events, per-cell structures, carrier profiles);
+* :mod:`repro.rrc` — the signaling substrate (messages, binary codec,
+  modem diag log format, broadcast);
+* :mod:`repro.ue` — the device-side 3GPP state machines (measurement,
+  reporting, reselection, handover);
+* :mod:`repro.simulate` — mobility, traffic and throughput simulation;
+* :mod:`repro.datasets` — the D1/D2 dataset builders;
+* :mod:`repro.core` — **MMLab**, the paper's contribution: collector,
+  configuration crawler, handoff-instance extraction and the analysis
+  toolkit;
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+
+Quickstart::
+
+    from repro.simulate import drive_scenario, DriveSimulator, Speedtest
+    from repro.core import MMLab
+    import numpy as np
+
+    scenario = drive_scenario("indianapolis")
+    sim = DriveSimulator(scenario.env, scenario.server, "A")
+    trajectory = scenario.urban_trajectory(np.random.default_rng(1))
+    result = sim.run(trajectory, Speedtest())
+    mmlab = MMLab()
+    configs = mmlab.crawl(result.diag_log)
+    handoffs = mmlab.extract_handoffs(result.diag_log, "A")
+"""
+
+__version__ = "1.0.0"

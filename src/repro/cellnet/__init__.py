@@ -1,0 +1,44 @@
+"""Cellular network substrate.
+
+This subpackage models everything "below" the handoff logic: radio access
+technologies, frequency bands and channel numbers, cell sites, carriers
+(operators), geographic deployments and the radio propagation model that
+produces the RSRP/RSRQ/SINR values the handoff state machines act on.
+
+The substrate replaces the real carrier networks the paper measured.  The
+handoff *logic* (``repro.ue``) and the configuration *space*
+(``repro.config``) are implemented per the 3GPP semantics described in the
+paper; this package only needs to provide realistic signal dynamics for
+that logic to act on.
+"""
+
+from repro.cellnet.rat import RAT
+from repro.cellnet.bands import Band, BAND_CATALOG, earfcn_to_band, earfcn_to_frequency_mhz
+from repro.cellnet.geo import Point, distance_m
+from repro.cellnet.cell import Cell, CellId
+from repro.cellnet.carrier import Carrier, CARRIERS, carrier_by_acronym
+from repro.cellnet.radio import RadioModel, Measurement
+from repro.cellnet.deployment import City, DeploymentPlan, deploy_city, deploy_highway
+from repro.cellnet.world import RadioEnvironment
+
+__all__ = [
+    "RAT",
+    "Band",
+    "BAND_CATALOG",
+    "earfcn_to_band",
+    "earfcn_to_frequency_mhz",
+    "Point",
+    "distance_m",
+    "Cell",
+    "CellId",
+    "Carrier",
+    "CARRIERS",
+    "carrier_by_acronym",
+    "RadioModel",
+    "Measurement",
+    "City",
+    "DeploymentPlan",
+    "deploy_city",
+    "deploy_highway",
+    "RadioEnvironment",
+]

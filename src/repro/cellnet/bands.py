@@ -1,0 +1,143 @@
+"""Frequency band and channel-number catalog.
+
+LTE channels are identified by EARFCN (E-UTRA Absolute Radio Frequency
+Channel Number); the mapping between EARFCN and carrier frequency is
+regulated by 3GPP TS 36.101 Section 5.7.3:
+
+    F_downlink(MHz) = F_DL_low + 0.1 * (EARFCN - N_offset_DL)
+
+The paper observes 24 distinct channels in AT&T, with serving cells
+primarily on channels 850, 1975, 2000, 5110, 5780 and 9820 (Fig. 18), and
+highlights band 30 (channel 9820, 2300 MHz WCS) as the recently acquired,
+high-priority band behind a real-world outage for non-band-30 phones.
+
+We implement the TS 36.101 downlink tables for the bands the paper's
+carriers actually use, plus UMTS UARFCNs and GSM ARFCNs sufficient for
+inter-RAT configurations (SIB6/7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cellnet.rat import RAT
+
+
+@dataclass(frozen=True)
+class Band:
+    """One operating band of some RAT.
+
+    Attributes:
+        number: The 3GPP band number (e.g. 12, 17, 30 for LTE).
+        rat: Radio access technology the band belongs to.
+        name: Human-readable band name (e.g. "700 MHz Lower SMH").
+        dl_low_mhz: Lowest downlink carrier frequency of the band.
+        n_offset_dl: First channel number of the band (N_Offs-DL).
+        n_last_dl: Last channel number of the band (inclusive).
+    """
+
+    number: int
+    rat: RAT
+    name: str
+    dl_low_mhz: float
+    n_offset_dl: int
+    n_last_dl: int
+
+    def contains_channel(self, channel: int) -> bool:
+        """Whether ``channel`` falls inside this band's DL channel range."""
+        return self.n_offset_dl <= channel <= self.n_last_dl
+
+    def channel_to_frequency_mhz(self, channel: int) -> float:
+        """Downlink carrier frequency of ``channel`` per TS 36.101 5.7.3."""
+        if not self.contains_channel(channel):
+            raise ValueError(f"channel {channel} outside band {self.number}")
+        return self.dl_low_mhz + 0.1 * (channel - self.n_offset_dl)
+
+
+# LTE downlink EARFCN table (subset; TS 36.101 Table 5.7.3-1).  Covers all
+# channels referenced by the paper (Fig. 18) and the carrier profiles.
+_LTE_BANDS = [
+    Band(1, RAT.LTE, "2100 MHz IMT", 2110.0, 0, 599),
+    Band(2, RAT.LTE, "1900 MHz PCS", 1930.0, 600, 1199),
+    Band(3, RAT.LTE, "1800 MHz DCS", 1805.0, 1200, 1949),
+    Band(4, RAT.LTE, "1700/2100 MHz AWS-1", 2110.0, 1950, 2399),
+    Band(5, RAT.LTE, "850 MHz CLR", 869.0, 2400, 2649),
+    Band(7, RAT.LTE, "2600 MHz IMT-E", 2620.0, 2750, 3449),
+    Band(8, RAT.LTE, "900 MHz E-GSM", 925.0, 3450, 3799),
+    Band(12, RAT.LTE, "700 MHz Lower SMH", 729.0, 5010, 5179),
+    Band(13, RAT.LTE, "700 MHz Upper SMH", 746.0, 5180, 5279),
+    Band(17, RAT.LTE, "700 MHz Lower SMH B/C", 734.0, 5730, 5849),
+    Band(20, RAT.LTE, "800 MHz EU Digital Dividend", 791.0, 6150, 6449),
+    Band(25, RAT.LTE, "1900 MHz Extended PCS", 1930.0, 8040, 8689),
+    Band(26, RAT.LTE, "850 MHz Extended CLR", 859.0, 8690, 9039),
+    Band(19, RAT.LTE, "850 MHz Japan Upper", 875.0, 6000, 6149),
+    Band(28, RAT.LTE, "700 MHz APT", 758.0, 9210, 9659),
+    Band(29, RAT.LTE, "700 MHz Lower SMH D/E (SDL)", 717.0, 9660, 9769),
+    Band(30, RAT.LTE, "2300 MHz WCS", 2350.0, 9770, 9869),
+    Band(38, RAT.LTE, "2600 MHz TDD", 2570.0, 37750, 38249),
+    Band(39, RAT.LTE, "1900 MHz TDD", 1880.0, 38250, 38649),
+    Band(40, RAT.LTE, "2300 MHz TDD", 2300.0, 38650, 39649),
+    Band(41, RAT.LTE, "2500 MHz TDD BRS", 2496.0, 39650, 41589),
+    Band(66, RAT.LTE, "1700/2100 MHz AWS-3", 2110.0, 66436, 67335),
+]
+
+# UMTS UARFCN table (subset; TS 25.101).  UARFCN_DL = 5 * F_DL(MHz) for
+# the general case, so dl_low encodes the band edge and channels map with
+# 0.2 MHz raster.  We model the two most common FDD bands plus band V.
+_UMTS_BANDS = [
+    Band(1, RAT.UMTS, "2100 MHz IMT", 2112.4, 10562, 10838),
+    Band(2, RAT.UMTS, "1900 MHz PCS", 1932.4, 9662, 9938),
+    Band(4, RAT.UMTS, "1700/2100 MHz AWS-1", 2112.4, 1537, 1738),
+    Band(5, RAT.UMTS, "850 MHz CLR", 871.4, 4357, 4458),
+    Band(8, RAT.UMTS, "900 MHz E-GSM", 927.4, 2937, 3088),
+]
+
+# GSM ARFCN table (subset; TS 45.005).
+_GSM_BANDS = [
+    Band(2, RAT.GSM, "GSM 1900 PCS", 1930.2, 512, 810),
+    Band(3, RAT.GSM, "GSM 1800 DCS", 1805.2, 811, 885),
+    Band(5, RAT.GSM, "GSM 850", 869.2, 128, 251),
+    Band(8, RAT.GSM, "GSM 900", 935.2, 1, 124),
+]
+
+# CDMA family band classes (3GPP2 C.S0057).
+_CDMA_BANDS = [
+    Band(0, RAT.CDMA1X, "800 MHz Cellular (BC0)", 869.04, 1, 799),
+    Band(1, RAT.CDMA1X, "1900 MHz PCS (BC1)", 1930.05, 800, 1199),
+    Band(0, RAT.EVDO, "800 MHz Cellular (BC0)", 869.04, 1, 799),
+    Band(1, RAT.EVDO, "1900 MHz PCS (BC1)", 800, 800, 1199),
+]
+
+#: All bands known to the catalog, grouped by RAT.
+BAND_CATALOG: dict[RAT, tuple[Band, ...]] = {
+    RAT.LTE: tuple(_LTE_BANDS),
+    RAT.UMTS: tuple(_UMTS_BANDS),
+    RAT.GSM: tuple(_GSM_BANDS),
+    RAT.CDMA1X: tuple(b for b in _CDMA_BANDS if b.rat is RAT.CDMA1X),
+    RAT.EVDO: tuple(b for b in _CDMA_BANDS if b.rat is RAT.EVDO),
+}
+
+
+def earfcn_to_band(channel: int, rat: RAT = RAT.LTE) -> Band:
+    """Resolve a channel number to its operating :class:`Band`.
+
+    Raises:
+        ValueError: If no catalogued band of ``rat`` contains ``channel``.
+    """
+    for band in BAND_CATALOG[rat]:
+        if band.contains_channel(channel):
+            return band
+    raise ValueError(f"no {rat.value} band contains channel {channel}")
+
+
+def earfcn_to_frequency_mhz(channel: int, rat: RAT = RAT.LTE) -> float:
+    """Downlink carrier frequency in MHz of a channel number."""
+    return earfcn_to_band(channel, rat).channel_to_frequency_mhz(channel)
+
+
+def channels_in_band(band_number: int, rat: RAT = RAT.LTE) -> range:
+    """The full channel-number range of a band, as a :class:`range`."""
+    for band in BAND_CATALOG[rat]:
+        if band.number == band_number:
+            return range(band.n_offset_dl, band.n_last_dl + 1)
+    raise ValueError(f"unknown {rat.value} band {band_number}")

@@ -1,0 +1,243 @@
+"""Deterministic network deployment generator.
+
+Builds the cell layouts that stand in for the carriers' real networks:
+hexagonal site grids per city with multi-layer (multi-channel, multi-RAT)
+cells at each site, plus linear highway corridors between cities, which
+is where the paper's Type-II driving experiments happen.
+
+The generator is fully seeded: the same (city, carrier, seed) always
+yields the same cells with the same identities, so dataset builds and
+benchmarks are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cellnet.carrier import CARRIERS, Carrier
+from repro.cellnet.cell import Cell, CellId, CellRegistry
+from repro.cellnet.geo import Point, hex_grid, walk_segment
+from repro.cellnet.rat import RAT
+from repro.util import stable_hash
+
+
+@dataclass(frozen=True)
+class City:
+    """A deployment region.
+
+    Attributes:
+        name: City name (the paper's C1..C5 are US cities).
+        country: Country code matching ``Carrier.country``.
+        rings: Number of hexagonal rings of sites (site count grows
+            quadratically: 1 + 3*rings*(rings+1)).
+        site_spacing_m: Inter-site distance.
+        origin: Origin of the city's local plane; cities are placed far
+            apart so their planes never overlap.
+    """
+
+    name: str
+    country: str
+    rings: int = 4
+    site_spacing_m: float = 1000.0
+    origin: Point = field(default=Point(0.0, 0.0))
+
+
+#: The five US cities of the paper's city-level analysis (Fig. 20), with
+#: relative sizes mirroring their cell counts (Chicago 4671 ... Lafayette
+#: 745), plus the international cities contributing to D2.
+US_CITIES = [
+    City("Chicago", "US", rings=7, site_spacing_m=900.0, origin=Point(0.0, 0.0)),
+    City("LA", "US", rings=6, site_spacing_m=1000.0, origin=Point(400_000.0, 0.0)),
+    City("Indianapolis", "US", rings=5, site_spacing_m=1000.0, origin=Point(800_000.0, 0.0)),
+    City("Columbus", "US", rings=4, site_spacing_m=1100.0, origin=Point(1_200_000.0, 0.0)),
+    City("Lafayette", "US", rings=3, site_spacing_m=1200.0, origin=Point(1_600_000.0, 0.0)),
+]
+
+WORLD_CITIES = US_CITIES + [
+    City("Beijing", "CN", rings=6, site_spacing_m=800.0, origin=Point(0.0, 400_000.0)),
+    City("Shanghai", "CN", rings=5, site_spacing_m=800.0, origin=Point(400_000.0, 400_000.0)),
+    City("Seoul", "KR", rings=4, site_spacing_m=700.0, origin=Point(800_000.0, 400_000.0)),
+    City("Singapore", "SG", rings=4, site_spacing_m=700.0, origin=Point(1_200_000.0, 400_000.0)),
+    City("HongKong", "HK", rings=3, site_spacing_m=650.0, origin=Point(1_600_000.0, 400_000.0)),
+    City("Taipei", "TW", rings=4, site_spacing_m=750.0, origin=Point(0.0, 800_000.0)),
+    City("Oslo", "NO", rings=3, site_spacing_m=1100.0, origin=Point(400_000.0, 800_000.0)),
+    City("Paris", "FR", rings=2, site_spacing_m=900.0, origin=Point(800_000.0, 800_000.0)),
+    City("Berlin", "DE", rings=2, site_spacing_m=950.0, origin=Point(1_200_000.0, 800_000.0)),
+    City("Madrid", "ES", rings=2, site_spacing_m=950.0, origin=Point(1_600_000.0, 800_000.0)),
+    City("MexicoCity", "MX", rings=2, site_spacing_m=1000.0, origin=Point(0.0, 1_200_000.0)),
+    City("Rome", "IT", rings=1, site_spacing_m=900.0, origin=Point(400_000.0, 1_200_000.0)),
+    City("London", "GB", rings=2, site_spacing_m=850.0, origin=Point(800_000.0, 1_200_000.0)),
+    City("Toronto", "CA", rings=2, site_spacing_m=950.0, origin=Point(1_200_000.0, 1_200_000.0)),
+    City("Tokyo", "JP", rings=2, site_spacing_m=700.0, origin=Point(1_600_000.0, 1_200_000.0)),
+]
+
+
+def city_by_name(name: str) -> City:
+    """Look up a catalogued city by name."""
+    for city in WORLD_CITIES:
+        if city.name == name:
+            return city
+    raise KeyError(f"unknown city {name!r}")
+
+
+@dataclass
+class DeploymentPlan:
+    """A complete deployment: the registry plus per-city site lists."""
+
+    registry: CellRegistry = field(default_factory=CellRegistry)
+    cities: list[City] = field(default_factory=list)
+    _gci_counters: dict[str, itertools.count] = field(default_factory=dict)
+
+    def next_gci(self, carrier: str) -> int:
+        """Next global cell identity for ``carrier`` (deterministic)."""
+        if carrier not in self._gci_counters:
+            self._gci_counters[carrier] = itertools.count(1)
+        return next(self._gci_counters[carrier])
+
+
+def _carrier_layers(carrier: Carrier, rng: np.random.Generator) -> list[tuple[RAT, int]]:
+    """The (RAT, channel) layers a carrier deploys at a full site.
+
+    LTE layers dominate (72% of D2 cells are LTE, Table 4); each site
+    carries 2-3 LTE channels drawn from the carrier's holdings, plus one
+    3G and (for 3GPP-family carriers) occasionally one 2G layer.
+    """
+    layers: list[tuple[RAT, int]] = []
+    lte = list(carrier.lte_channels)
+    n_lte = min(len(lte), int(rng.integers(2, 4)))
+    head = lte[:2]
+    tail = lte[2:]
+    chosen = head[:n_lte]
+    if len(chosen) < n_lte and tail:
+        extra = rng.choice(len(tail), size=min(n_lte - len(chosen), len(tail)), replace=False)
+        chosen += [tail[i] for i in sorted(extra)]
+    layers.extend((RAT.LTE, ch) for ch in chosen)
+    if RAT.UMTS in carrier.rats and carrier.umts_channels and rng.random() < 0.75:
+        layers.append((RAT.UMTS, carrier.umts_channels[int(rng.integers(len(carrier.umts_channels)))]))
+    if RAT.EVDO in carrier.rats and carrier.cdma_channels:
+        if rng.random() < 0.55:
+            layers.append((RAT.EVDO, carrier.cdma_channels[int(rng.integers(len(carrier.cdma_channels)))]))
+        if rng.random() < 0.4:
+            layers.append((RAT.CDMA1X, carrier.cdma_channels[0]))
+    if RAT.GSM in carrier.rats and carrier.gsm_channels and rng.random() < 0.3:
+        layers.append((RAT.GSM, carrier.gsm_channels[int(rng.integers(len(carrier.gsm_channels)))]))
+    return layers
+
+
+def _site_jitter(rng: np.random.Generator, spacing_m: float) -> tuple[float, float]:
+    """Small random site displacement (real grids are never perfect)."""
+    return (
+        float(rng.uniform(-0.15, 0.15) * spacing_m),
+        float(rng.uniform(-0.15, 0.15) * spacing_m),
+    )
+
+
+def deploy_city(
+    city: City,
+    plan: DeploymentPlan,
+    seed: int,
+    carriers: list[Carrier] | None = None,
+) -> list[Cell]:
+    """Deploy all (or the given) carriers in one city.
+
+    Returns the cells created.  Carriers not operating in the city's
+    country are skipped unless explicitly listed (roaming partnerships
+    are out of scope, as in the paper).
+    """
+    if carriers is None:
+        carriers = [c for c in CARRIERS.values() if c.country == city.country]
+    created: list[Cell] = []
+    for carrier in sorted(carriers, key=lambda c: c.acronym):
+        rng = np.random.default_rng((seed, stable_hash(city.name) & 0xFFFF, stable_hash(carrier.acronym) & 0xFFFF))
+        # Scale the grid by carrier footprint: small carriers skip rings.
+        rings = max(1, min(city.rings, int(round(city.rings * min(1.0, 0.3 + carrier.scale / 8.0)))))
+        sites = hex_grid(city.origin, city.site_spacing_m, rings)
+        for site in sites:
+            dx, dy = _site_jitter(rng, city.site_spacing_m)
+            location = site.offset(dx, dy)
+            for rat, channel in _carrier_layers(carrier, rng):
+                cell = Cell(
+                    cell_id=CellId(carrier.acronym, plan.next_gci(carrier.acronym)),
+                    rat=rat,
+                    channel=channel,
+                    pci=int(rng.integers(0, 504)),
+                    location=location,
+                    tx_power_dbm=float(rng.uniform(27.0, 33.0)),
+                    city=city.name,
+                    bandwidth_mhz=float(rng.choice([5.0, 10.0, 15.0, 20.0])) if rat is RAT.LTE else 5.0,
+                )
+                plan.registry.add(cell)
+                created.append(cell)
+    if city not in plan.cities:
+        plan.cities.append(city)
+    return created
+
+
+def deploy_highway(
+    start: Point,
+    end: Point,
+    plan: DeploymentPlan,
+    seed: int,
+    carriers: list[Carrier],
+    site_spacing_m: float = 2500.0,
+    name: str = "highway",
+) -> list[Cell]:
+    """Deploy a linear corridor of sites between two points.
+
+    Highway sites are sparser and typically carry fewer layers —
+    mirroring the paper's highway drives (90-120 km/h) where inter-freq
+    and weak-coverage handoffs are more common.
+    """
+    created: list[Cell] = []
+    for carrier in sorted(carriers, key=lambda c: c.acronym):
+        rng = np.random.default_rng((seed, 0xD0AD, stable_hash(carrier.acronym) & 0xFFFF))
+        for site in walk_segment(start, end, site_spacing_m):
+            dx, dy = _site_jitter(rng, site_spacing_m * 0.3)
+            location = site.offset(dx, dy)
+            layers = _carrier_layers(carrier, rng)[:2]
+            for rat, channel in layers:
+                cell = Cell(
+                    cell_id=CellId(carrier.acronym, plan.next_gci(carrier.acronym)),
+                    rat=rat,
+                    channel=channel,
+                    pci=int(rng.integers(0, 504)),
+                    location=location,
+                    tx_power_dbm=float(rng.uniform(30.0, 36.0)),
+                    city=name,
+                    bandwidth_mhz=10.0,
+                )
+                plan.registry.add(cell)
+                created.append(cell)
+    return created
+
+
+def build_us_deployment(seed: int = 7, cities: list[City] | None = None) -> DeploymentPlan:
+    """Deploy the four US carriers across the paper's five US cities."""
+    plan = DeploymentPlan()
+    for city in cities or US_CITIES:
+        deploy_city(city, plan, seed)
+    return plan
+
+
+def build_world_deployment(seed: int = 7, extra_rings: int = 0) -> DeploymentPlan:
+    """Deploy every carrier in every catalogued city (dataset D2 scale).
+
+    ``extra_rings`` widens every city's hex grid; the default world is
+    ~10k cells, and ``extra_rings=3`` reaches the paper's ~32k-cell
+    scale.
+    """
+    plan = DeploymentPlan()
+    for city in WORLD_CITIES:
+        if extra_rings:
+            city = City(
+                name=city.name,
+                country=city.country,
+                rings=city.rings + extra_rings,
+                site_spacing_m=city.site_spacing_m,
+                origin=city.origin,
+            )
+        deploy_city(city, plan, seed)
+    return plan

@@ -1,0 +1,105 @@
+"""Planar geometry for cell deployments and drive trajectories.
+
+The study's spatial analyses (Fig. 20, Fig. 21) operate at city scale
+(kilometres), so we use a local tangent-plane approximation: positions
+are (x, y) metres relative to a per-region origin.  This keeps distance
+computation exact and cheap, and the deployment generator assigns each
+city its own plane.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Point:
+    """A position on a city's local tangent plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def offset(self, dx: float, dy: float) -> "Point":
+        """A new point translated by (dx, dy) metres."""
+        return Point(self.x + dx, self.y + dy)
+
+    def towards(self, other: "Point", fraction: float) -> "Point":
+        """Linear interpolation from self towards ``other``.
+
+        ``fraction`` = 0 returns self, 1 returns ``other``; values outside
+        [0, 1] extrapolate along the segment.
+        """
+        return Point(
+            self.x + (other.x - self.x) * fraction,
+            self.y + (other.y - self.y) * fraction,
+        )
+
+
+def distance_m(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return a.distance_to(b)
+
+
+def points_within(center: Point, radius_m: float, points: Iterable[Point]) -> list[Point]:
+    """All points at most ``radius_m`` metres from ``center``."""
+    return [p for p in points if center.distance_to(p) <= radius_m]
+
+
+def walk_segment(start: Point, end: Point, step_m: float) -> Iterator[Point]:
+    """Yield points along the segment from ``start`` to ``end``.
+
+    Successive points are ``step_m`` metres apart; the final point is
+    always ``end`` exactly, so a caller can chain segments without gaps.
+    """
+    if step_m <= 0:
+        raise ValueError("step_m must be positive")
+    total = start.distance_to(end)
+    if total == 0:
+        yield end
+        return
+    # Evenly spaced so no gap exceeds step_m, including the last one.
+    steps = max(math.ceil(total / step_m), 1)
+    for i in range(steps):
+        yield start.towards(end, i / steps)
+    yield end
+
+
+def hex_grid(center: Point, spacing_m: float, rings: int) -> list[Point]:
+    """Centres of a hexagonal grid around ``center``.
+
+    Classic cellular layout: one centre site plus ``rings`` concentric
+    hexagonal rings with inter-site distance ``spacing_m``.  Ring k holds
+    6*k sites, so the total is 1 + 3*rings*(rings+1).
+    """
+    if rings < 0:
+        raise ValueError("rings must be non-negative")
+    points = [center]
+    # Axial hex coordinates; the classic ring walk starts one radius out
+    # along direction 4 and turns through the six axial directions.
+    directions = [(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)]
+    for k in range(1, rings + 1):
+        q, r = -k, k
+        for dq, dr in directions:
+            for _ in range(k):
+                x = spacing_m * (q + r / 2.0)
+                y = spacing_m * (r * math.sqrt(3) / 2.0)
+                points.append(center.offset(x, y))
+                q += dq
+                r += dr
+    return points
+
+
+def bounding_box(points: Iterable[Point]) -> tuple[Point, Point]:
+    """(min-corner, max-corner) of the axis-aligned box around ``points``."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding_box of empty point set")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Point(min(xs), min(ys)), Point(max(xs), max(ys))

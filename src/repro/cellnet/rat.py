@@ -1,0 +1,85 @@
+"""Radio access technologies (RATs) covered by the study.
+
+The paper's dataset D2 covers five RATs (Table 4): 4G LTE, 3G UMTS
+(WCDMA), 2G GSM, 3G EVDO and 2G CDMA1x.  LTE dominates (72% of cells).
+UMTS/GSM form one family standard; EVDO/CDMA1x form the other and were
+only observed in Verizon, Sprint and China Telecom.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RAT(enum.Enum):
+    """A cellular radio access technology.
+
+    Members are ordered oldest-to-newest within each generation so that
+    :meth:`generation` and comparisons used by inter-RAT handoff logic are
+    straightforward.
+    """
+
+    GSM = "GSM"
+    CDMA1X = "CDMA1x"
+    UMTS = "UMTS"
+    EVDO = "EVDO"
+    LTE = "LTE"
+
+    @property
+    def generation(self) -> int:
+        """The marketing generation (2, 3 or 4) of this RAT."""
+        return _GENERATION[self]
+
+    @property
+    def family(self) -> str:
+        """Standard family: ``"3GPP"`` (GSM/UMTS/LTE) or ``"3GPP2"``."""
+        return "3GPP2" if self in (RAT.CDMA1X, RAT.EVDO) else "3GPP"
+
+    @property
+    def measurement_metrics(self) -> tuple[str, ...]:
+        """Radio-signal metrics a device reports on this RAT.
+
+        LTE uses RSRP (dBm) and RSRQ (dB); UMTS uses RSCP and Ec/No; GSM
+        uses RSSI; the CDMA family uses pilot strength.
+        """
+        return _METRICS[self]
+
+    def __lt__(self, other: "RAT") -> bool:
+        if not isinstance(other, RAT):
+            return NotImplemented
+        return self.generation < other.generation
+
+
+_GENERATION = {
+    RAT.GSM: 2,
+    RAT.CDMA1X: 2,
+    RAT.UMTS: 3,
+    RAT.EVDO: 3,
+    RAT.LTE: 4,
+}
+
+_METRICS = {
+    RAT.LTE: ("rsrp", "rsrq"),
+    RAT.UMTS: ("rscp", "ecno"),
+    RAT.GSM: ("rssi",),
+    RAT.EVDO: ("pilot_strength",),
+    RAT.CDMA1X: ("pilot_strength",),
+}
+
+#: Valid RSRP range in dBm for LTE per TS 36.133 (paper Section 2.2).
+RSRP_RANGE_DBM = (-140.0, -44.0)
+
+#: Valid RSRQ range in dB for LTE per TS 36.133 (paper Section 2.2).
+RSRQ_RANGE_DB = (-19.5, -3.0)
+
+
+def clamp_rsrp(value_dbm: float) -> float:
+    """Clamp a power value into the reportable LTE RSRP range."""
+    low, high = RSRP_RANGE_DBM
+    return min(max(value_dbm, low), high)
+
+
+def clamp_rsrq(value_db: float) -> float:
+    """Clamp a quality value into the reportable LTE RSRQ range."""
+    low, high = RSRQ_RANGE_DB
+    return min(max(value_db, low), high)

@@ -1,0 +1,81 @@
+"""Command-line interface.
+
+Lets a user regenerate any of the paper's tables/figures without
+writing code::
+
+    python -m repro list
+    python -m repro run fig06
+    python -m repro run fig06 --scale 2      # bigger D1 build
+    python -m repro run tab04 fig11 fig22    # several at once
+
+The first ``run`` of a D1- or D2-backed experiment builds the shared
+dataset (a minute or two); subsequent experiments in the same
+invocation reuse it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import registry
+from repro.experiments.common import default_d1, default_d2
+
+#: Which backing dataset each experiment needs.
+_NEEDS_D1 = {"fig05", "fig06", "fig08", "fig09", "fig10", "ext-instability"}
+_NEEDS_D2 = {
+    "tab04", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "ext-policies",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the IMC'18 handoff study",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiment ids")
+    run_parser = subparsers.add_parser("run", help="run experiment drivers")
+    run_parser.add_argument("experiments", nargs="+", metavar="EXP",
+                            help="experiment ids (e.g. fig06 tab04), or 'all'")
+    run_parser.add_argument("--scale", type=float, default=1.0,
+                            help="D1 drive-count multiplier (default 1.0)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id in registry.all_experiment_ids():
+            print(exp_id)
+        return 0
+    wanted = list(args.experiments)
+    if wanted == ["all"]:
+        wanted = registry.all_experiment_ids()
+    unknown = [e for e in wanted if e not in registry.EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(registry.all_experiment_ids())}", file=sys.stderr)
+        return 2
+    d1 = d2 = None
+    for exp_id in wanted:
+        kwargs = {}
+        if exp_id in _NEEDS_D1:
+            if d1 is None:
+                print("# building dataset D1...", file=sys.stderr)
+                d1 = default_d1(scale=args.scale)
+            kwargs["d1"] = d1
+        elif exp_id in _NEEDS_D2:
+            if d2 is None:
+                print("# building dataset D2...", file=sys.stderr)
+                d2 = default_d2()
+            kwargs["d2"] = d2
+        result = registry.run(exp_id, **kwargs)
+        result.print()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

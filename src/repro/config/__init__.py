@@ -1,0 +1,70 @@
+"""Handoff configuration model.
+
+Everything the paper calls a "handoff configuration" lives here: the
+registry of standardized parameters (66 for a 4G LTE cell, 91 across the
+3G/2G RATs — Table 4), the reporting-event definitions (A1-A6, B1, B2,
+periodic), the per-cell configuration structures that map onto SIB and
+RRC messages, and the per-carrier policy *profiles* that generate the
+synthetic configuration populations calibrated to the paper's findings.
+"""
+
+from repro.config.parameters import (
+    ParameterSpec,
+    REGISTRY,
+    parameters_for,
+    parameter_count,
+    spec_by_name,
+)
+from repro.config.events import (
+    EventType,
+    EventConfig,
+    PeriodicConfig,
+    evaluate_entry,
+    evaluate_leave,
+)
+from repro.config.lte import (
+    ServingCellConfig,
+    IntraFreqNeighborConfig,
+    InterFreqLayerConfig,
+    InterRatUtraConfig,
+    InterRatGeranConfig,
+    InterRatCdmaConfig,
+    MeasurementConfig,
+    LteCellConfig,
+)
+from repro.config.legacy import (
+    UmtsCellConfig,
+    GsmCellConfig,
+    EvdoCellConfig,
+    Cdma1xCellConfig,
+    LegacyCellConfig,
+)
+from repro.config.profiles import CarrierProfile, profile_for_carrier
+
+__all__ = [
+    "ParameterSpec",
+    "REGISTRY",
+    "parameters_for",
+    "parameter_count",
+    "spec_by_name",
+    "EventType",
+    "EventConfig",
+    "PeriodicConfig",
+    "evaluate_entry",
+    "evaluate_leave",
+    "ServingCellConfig",
+    "IntraFreqNeighborConfig",
+    "InterFreqLayerConfig",
+    "InterRatUtraConfig",
+    "InterRatGeranConfig",
+    "InterRatCdmaConfig",
+    "MeasurementConfig",
+    "LteCellConfig",
+    "UmtsCellConfig",
+    "GsmCellConfig",
+    "EvdoCellConfig",
+    "Cdma1xCellConfig",
+    "LegacyCellConfig",
+    "CarrierProfile",
+    "profile_for_carrier",
+]

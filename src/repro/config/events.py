@@ -1,0 +1,227 @@
+"""Measurement reporting events (TS 36.331 Section 5.5.4).
+
+LTE defines ten events (A1-A6, B1, B2, C1, C2); the paper observes only
+A1-A5, B1 and B2 in the wild, plus carrier-configured periodic reporting
+("P").  Each event has an *entry* condition that must hold continuously
+for the configured time-to-trigger before a measurement report is sent,
+and a *leave* condition that disarms it; hysteresis separates the two.
+
+Entry conditions implemented (Ms = serving, Mn = neighbor, all after the
+configured metric's calibration; Ofn/Ocn cell/frequency offsets):
+
+    A1: Ms - Hys > Thresh
+    A2: Ms + Hys < Thresh
+    A3: Mn + Ofn - Hys > Ms + Off
+    A4: Mn + Ofn - Hys > Thresh
+    A5: Ms + Hys < Thresh1  and  Mn + Ofn - Hys > Thresh2
+    A6: Mn - Hys > Ms + Off            (SCell; never observed, §4.1)
+    B1: Mn + Ofn - Hys > Thresh
+    B2: Ms + Hys < Thresh1  and  Mn + Ofn - Hys > Thresh2
+
+The leave condition of each event mirrors the entry condition with the
+hysteresis sign flipped, exactly as Eq. (2) of the paper shows for A3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.config.units import (
+    REPORT_AMOUNT,
+    REPORT_INTERVAL_MS,
+    TIME_TO_TRIGGER_MS,
+)
+
+
+class EventType(enum.Enum):
+    """All standardized LTE reporting event types plus periodic."""
+
+    A1 = "A1"
+    A2 = "A2"
+    A3 = "A3"
+    A4 = "A4"
+    A5 = "A5"
+    A6 = "A6"
+    B1 = "B1"
+    B2 = "B2"
+    C1 = "C1"
+    C2 = "C2"
+    PERIODIC = "P"
+
+    @property
+    def is_inter_rat(self) -> bool:
+        """B-series events target inter-RAT neighbors."""
+        return self in (EventType.B1, EventType.B2)
+
+    @property
+    def needs_neighbor(self) -> bool:
+        """Whether the entry condition involves a neighbor measurement."""
+        return self not in (EventType.A1, EventType.A2, EventType.PERIODIC)
+
+    @property
+    def needs_serving(self) -> bool:
+        """Whether the entry condition involves the serving measurement."""
+        return self in (EventType.A1, EventType.A2, EventType.A3,
+                        EventType.A5, EventType.A6, EventType.B2)
+
+
+@dataclass(frozen=True)
+class EventConfig:
+    """Configuration of one armed reporting event.
+
+    Attributes:
+        event: The event type.
+        metric: Trigger quantity, "rsrp" or "rsrq" (the paper finds
+            AT&T uses both for A5, T-Mobile mostly RSRP).
+        threshold1: Serving-cell threshold (A1/A2/A5/B2) or the single
+            neighbor threshold (A4/B1); unused for A3/A6.
+        threshold2: Neighbor threshold for the two-threshold events
+            (A5/B2); unused otherwise.
+        offset: A3/A6 offset (the paper's Delta_A3; may be negative in
+            the wild, a practice Section 6 flags as questionable).
+        hysteresis: Entry/leave hysteresis in dB.
+        time_to_trigger_ms: TTT from the standardized enumeration.
+        report_interval_ms: Interval between successive reports.
+        report_amount: Number of reports (-1 = unbounded).
+    """
+
+    event: EventType
+    metric: str = "rsrp"
+    threshold1: float | None = None
+    threshold2: float | None = None
+    offset: float = 0.0
+    hysteresis: float = 0.0
+    time_to_trigger_ms: int = 0
+    report_interval_ms: int = 480
+    report_amount: int = 1
+
+    def __post_init__(self):
+        if self.metric not in ("rsrp", "rsrq"):
+            raise ValueError(f"metric must be rsrp or rsrq, got {self.metric!r}")
+        if self.time_to_trigger_ms not in TIME_TO_TRIGGER_MS:
+            raise ValueError(f"non-standard time-to-trigger {self.time_to_trigger_ms}")
+        if self.report_interval_ms not in REPORT_INTERVAL_MS:
+            raise ValueError(f"non-standard report interval {self.report_interval_ms}")
+        if self.report_amount not in REPORT_AMOUNT:
+            raise ValueError(f"non-standard report amount {self.report_amount}")
+        if self.hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        needs1 = self.event in (EventType.A1, EventType.A2, EventType.A4,
+                                EventType.A5, EventType.B1, EventType.B2)
+        if needs1 and self.threshold1 is None:
+            raise ValueError(f"{self.event.value} requires threshold1")
+        needs2 = self.event in (EventType.A5, EventType.B2)
+        if needs2 and self.threshold2 is None:
+            raise ValueError(f"{self.event.value} requires threshold2")
+
+    def parameter_samples(self) -> list[tuple[str, object]]:
+        """(registry parameter name, value) pairs this config contributes.
+
+        These names match ``repro.config.parameters``; the dataset
+        builders record them as configuration samples.
+        """
+        prefix = self.event.value.lower()
+        samples: list[tuple[str, object]] = []
+        if self.event is EventType.PERIODIC:
+            samples.append(("report_interval", self.report_interval_ms))
+            samples.append(("report_amount", self.report_amount))
+            return samples
+        if self.event is EventType.A3:
+            samples.append(("a3_offset", self.offset))
+        elif self.event in (EventType.A5, EventType.B2):
+            samples.append((f"{prefix}_threshold1", self.threshold1))
+            samples.append((f"{prefix}_threshold2", self.threshold2))
+        else:
+            samples.append((f"{prefix}_threshold", self.threshold1))
+        samples.append((f"{prefix}_hysteresis", self.hysteresis))
+        samples.append((f"{prefix}_time_to_trigger", self.time_to_trigger_ms))
+        return samples
+
+
+@dataclass(frozen=True)
+class PeriodicConfig:
+    """Carrier-configured periodic reporting of strongest cells."""
+
+    metric: str = "rsrp"
+    report_interval_ms: int = 5120
+    report_amount: int = -1
+    max_report_cells: int = 4
+
+    def as_event_config(self) -> EventConfig:
+        """The equivalent :class:`EventConfig` with type PERIODIC."""
+        return EventConfig(
+            event=EventType.PERIODIC,
+            metric=self.metric,
+            report_interval_ms=self.report_interval_ms,
+            report_amount=self.report_amount,
+        )
+
+
+def evaluate_entry(
+    config: EventConfig,
+    serving: float | None,
+    neighbor: float | None,
+    neighbor_offset: float = 0.0,
+) -> bool:
+    """Whether the event's *entry* condition holds for one sample.
+
+    Args:
+        config: The armed event.
+        serving: Serving-cell value of the trigger metric (calibrated).
+        neighbor: Neighbor value (None when not applicable).
+        neighbor_offset: Ofn + Ocn cell/frequency offsets of the
+            evaluated neighbor.
+    """
+    e, hys = config.event, config.hysteresis
+    if e is EventType.PERIODIC:
+        return True
+    if e is EventType.A1:
+        return serving is not None and serving - hys > config.threshold1
+    if e is EventType.A2:
+        return serving is not None and serving + hys < config.threshold1
+    if e in (EventType.A3, EventType.A6):
+        if serving is None or neighbor is None:
+            return False
+        return neighbor + neighbor_offset - hys > serving + config.offset
+    if e in (EventType.A4, EventType.B1):
+        return neighbor is not None and neighbor + neighbor_offset - hys > config.threshold1
+    if e in (EventType.A5, EventType.B2):
+        if serving is None or neighbor is None:
+            return False
+        return (serving + hys < config.threshold1
+                and neighbor + neighbor_offset - hys > config.threshold2)
+    raise NotImplementedError(f"event {e.value} not supported")
+
+
+def evaluate_leave(
+    config: EventConfig,
+    serving: float | None,
+    neighbor: float | None,
+    neighbor_offset: float = 0.0,
+) -> bool:
+    """Whether the event's *leave* condition holds for one sample.
+
+    The leave condition is the entry condition with the hysteresis sign
+    flipped; an armed event that satisfies neither stays in its current
+    state (TS 36.331 5.5.4.1).
+    """
+    e, hys = config.event, config.hysteresis
+    if e is EventType.PERIODIC:
+        return False
+    if e is EventType.A1:
+        return serving is None or serving + hys < config.threshold1
+    if e is EventType.A2:
+        return serving is None or serving - hys > config.threshold1
+    if e in (EventType.A3, EventType.A6):
+        if serving is None or neighbor is None:
+            return True
+        return neighbor + neighbor_offset + hys < serving + config.offset
+    if e in (EventType.A4, EventType.B1):
+        return neighbor is None or neighbor + neighbor_offset + hys < config.threshold1
+    if e in (EventType.A5, EventType.B2):
+        if serving is None or neighbor is None:
+            return True
+        return (serving - hys > config.threshold1
+                or neighbor + neighbor_offset + hys < config.threshold2)
+    raise NotImplementedError(f"event {e.value} not supported")

@@ -1,0 +1,56 @@
+"""Shared helpers for the analysis modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def cdf_points(values: list[float], n_points: int = 101) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) points of an empirical CDF.
+
+    Evaluated at evenly spaced percentiles so series of different sizes
+    plot on a common grid.
+    """
+    if not values:
+        return []
+    data = np.sort(np.asarray(values, dtype=float))
+    fractions = np.linspace(0.0, 1.0, n_points)
+    points = np.quantile(data, fractions)
+    return [(float(v), float(f)) for v, f in zip(points, fractions)]
+
+
+def fraction_above(values: list[float], threshold: float = 0.0) -> float:
+    """Fraction of values strictly greater than ``threshold``."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v > threshold) / len(values)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary for boxplot-style figures."""
+
+    n: int
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "BoxStats":
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            n=len(values),
+            minimum=float(arr.min()),
+            p25=float(np.percentile(arr, 25)),
+            median=float(np.percentile(arr, 50)),
+            p75=float(np.percentile(arr, 75)),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+        )

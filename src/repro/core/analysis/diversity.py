@@ -1,0 +1,171 @@
+"""Configuration diversity metrics (paper Eq. 4 and Eq. 5).
+
+Three complementary measures quantify a parameter's diversity:
+
+* **richness** — the naive count of unique values;
+* **Simpson index of diversity** — ``D = 1 - sum(n_i^2) / N^2``,
+  sensitive to the relative abundance of each value (0 = single-valued,
+  approaching 1 = many equally common values);
+* **coefficient of variation** — ``Cv = std / |mean|``, quantifying
+  dispersion over the value *range* rather than the value histogram.
+
+The dependence measure (Eq. 5) compares a parameter's diversity with
+the expectation of its conditional diversity given a factor::
+
+    zeta_{M, theta | F} = E[ |M(theta | F = f) - M(theta)| ]
+
+A large zeta for F = frequency says the parameter is configured
+per-channel (Fig. 19); for F = location it quantifies spatial
+dependence (Fig. 21).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.datasets.records import ConfigSample
+from repro.datasets.store import ConfigSampleStore
+
+
+def _as_counts(values: Iterable[object]) -> Counter:
+    return Counter(values)
+
+
+def simpson_index(values: Iterable[object]) -> float:
+    """Simpson index of diversity, ``1 - sum(n_i^2)/N^2``.
+
+    Returns 0.0 for empty input (no diversity observable).
+    """
+    counts = _as_counts(values)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return 1.0 - sum(n * n for n in counts.values()) / (total * total)
+
+
+def coefficient_of_variation(values: Iterable[object]) -> float:
+    """Coefficient of variation ``std / |mean|`` over numeric values.
+
+    Non-numeric values (lists, strings) are ignored; if the mean is
+    zero (or no numeric values exist) the Cv is defined as 0.0, which
+    matches how the paper plots parameters with degenerate ranges.
+    """
+    numeric = [
+        float(v) for v in values
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    ]
+    if len(numeric) < 2:
+        return 0.0
+    mean = sum(numeric) / len(numeric)
+    if mean == 0.0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in numeric) / len(numeric)
+    return math.sqrt(variance) / abs(mean)
+
+
+def richness(values: Iterable[object]) -> int:
+    """Number of distinct values."""
+    return len(set(values))
+
+
+@dataclass(frozen=True)
+class DiversityMeasures:
+    """The triple of diversity measures for one parameter."""
+
+    parameter: str
+    simpson: float
+    cv: float
+    richness: int
+    n_samples: int
+
+
+def diversity_of_values(parameter: str, values: list[object]) -> DiversityMeasures:
+    """All three measures over a value list."""
+    return DiversityMeasures(
+        parameter=parameter,
+        simpson=simpson_index(values),
+        cv=coefficient_of_variation(values),
+        richness=richness(values),
+        n_samples=len(values),
+    )
+
+
+def parameter_diversity(
+    store: ConfigSampleStore, parameter: str, deduplicate_cells: bool = True
+) -> DiversityMeasures:
+    """Diversity measures of one parameter over a sample store.
+
+    With ``deduplicate_cells`` each (cell, value) pair counts once,
+    matching the paper's unique-sample convention (Section 5.1).
+    """
+    values = store.unique_values(parameter, deduplicate_cells=deduplicate_cells)
+    return diversity_of_values(parameter, values)
+
+
+def all_parameter_diversity(
+    store: ConfigSampleStore, deduplicate_cells: bool = True
+) -> list[DiversityMeasures]:
+    """Diversity of every parameter present, sorted by Simpson index.
+
+    This ordering is the x-axis of the paper's Fig. 16.
+    """
+    measures = [
+        parameter_diversity(store, p, deduplicate_cells=deduplicate_cells)
+        for p in store.parameters()
+    ]
+    measures.sort(key=lambda m: (m.simpson, m.parameter))
+    return measures
+
+
+def value_distribution(
+    store: ConfigSampleStore, parameter: str, deduplicate_cells: bool = True
+) -> list[tuple[object, float]]:
+    """(value, share) pairs sorted by value — the Fig. 14/15 bars."""
+    values = store.unique_values(parameter, deduplicate_cells=deduplicate_cells)
+    counts = Counter(values)
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    items = sorted(counts.items(), key=lambda kv: (str(type(kv[0])), str(kv[0])))
+
+    def sort_key(kv):
+        value = kv[0]
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (0, float(value), "")
+        return (1, 0.0, str(value))
+
+    items.sort(key=sort_key)
+    return [(value, count / total) for value, count in items]
+
+
+def dependence(
+    store: ConfigSampleStore,
+    parameter: str,
+    factor: Callable[[ConfigSample], object],
+    measure: str = "simpson",
+    deduplicate_cells: bool = True,
+) -> float:
+    """The paper's Eq. 5 dependence measure zeta_{M, theta | F}.
+
+    Args:
+        store: Sample population.
+        parameter: Parameter under study.
+        factor: Maps a sample to its factor value (e.g. channel, city).
+        measure: "simpson" or "cv".
+        deduplicate_cells: Unique-sample convention.
+    """
+    metric = simpson_index if measure == "simpson" else coefficient_of_variation
+    overall = metric(store.unique_values(parameter, deduplicate_cells=deduplicate_cells))
+    groups = store.for_parameter(parameter).group_by(factor)
+    if not groups:
+        return 0.0
+    deviations = []
+    for sub in groups.values():
+        conditional = metric(
+            sub.unique_values(parameter, deduplicate_cells=deduplicate_cells)
+        )
+        deviations.append(abs(conditional - overall))
+    return sum(deviations) / len(deviations)

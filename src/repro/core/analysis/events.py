@@ -1,0 +1,88 @@
+"""Decisive reporting-event analysis (paper Fig. 5, Section 4.1).
+
+From the active handoff instances of D1, compute per carrier: which
+events are decisive and with what shares, and the observed range of
+each decisive event's main parameters (Delta_A3, H_A3, the A5 threshold
+pairs per metric).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.datasets.store import HandoffInstanceStore
+
+#: Display order of the paper's Fig. 5 x-axis.
+EVENT_ORDER = ("A1", "A2", "A3", "A4", "A5", "P")
+
+
+@dataclass
+class EventMixReport:
+    """Decisive-event mix and parameter ranges for one carrier."""
+
+    carrier: str
+    n_instances: int
+    #: event -> share of instances (sums to 1 over observed events).
+    shares: dict = field(default_factory=dict)
+    #: Observed [min, max] of Delta_A3 and H_A3.
+    a3_offset_range: tuple[float, float] | None = None
+    a3_hysteresis_range: tuple[float, float] | None = None
+    #: Per metric ("rsrp"/"rsrq"): ([min,max] serving, [min,max] candidate).
+    a5_threshold_ranges: dict = field(default_factory=dict)
+
+    def share(self, event: str) -> float:
+        """Share of one event (0.0 when never decisive)."""
+        return self.shares.get(event, 0.0)
+
+
+def event_mix(store: HandoffInstanceStore, carrier: str) -> EventMixReport:
+    """Build the Fig. 5 report for one carrier."""
+    instances = [
+        i
+        for i in store.active().for_carrier(carrier)
+        if i.decisive_event is not None
+    ]
+    counts = Counter(i.decisive_event for i in instances)
+    total = sum(counts.values())
+    report = EventMixReport(carrier=carrier, n_instances=total)
+    if total == 0:
+        return report
+    report.shares = {event: counts.get(event, 0) / total for event in EVENT_ORDER}
+    a3_offsets = [
+        i.decisive_config["offset"]
+        for i in instances
+        if i.decisive_event == "A3" and "offset" in i.decisive_config
+    ]
+    a3_hyst = [
+        i.decisive_config["hysteresis"]
+        for i in instances
+        if i.decisive_event == "A3" and "hysteresis" in i.decisive_config
+    ]
+    if a3_offsets:
+        report.a3_offset_range = (min(a3_offsets), max(a3_offsets))
+    if a3_hyst:
+        report.a3_hysteresis_range = (min(a3_hyst), max(a3_hyst))
+    a5: dict = defaultdict(lambda: ([], []))
+    for i in instances:
+        if i.decisive_event != "A5":
+            continue
+        t1 = i.decisive_config.get("threshold1")
+        t2 = i.decisive_config.get("threshold2")
+        if t1 is None or t2 is None:
+            continue
+        serving_list, candidate_list = a5[i.decisive_metric or "rsrp"]
+        serving_list.append(t1)
+        candidate_list.append(t2)
+    for metric, (serving_list, candidate_list) in a5.items():
+        report.a5_threshold_ranges[metric] = (
+            (min(serving_list), max(serving_list)),
+            (min(candidate_list), max(candidate_list)),
+        )
+    return report
+
+
+def dominant_events(report: EventMixReport, top: int = 2) -> list[str]:
+    """The carrier's most common decisive events, most frequent first."""
+    ranked = sorted(report.shares.items(), key=lambda kv: -kv[1])
+    return [event for event, share in ranked[:top] if share > 0]

@@ -1,0 +1,110 @@
+"""Frequency dependence of configurations (paper Figs. 18/19, §5.4.1).
+
+Fig. 18 breaks down the serving and candidate priorities per frequency
+channel — the analysis that explains AT&T's band strategy (LTE-exclusive
+bands 12/17 priority-low, freshly acquired band 30 priority-top) and the
+multi-valued channels that cause priority conflicts.  Fig. 19 computes
+the Eq. 5 dependence measure with F = channel across every parameter.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.analysis.diversity import dependence
+from repro.datasets.store import ConfigSampleStore
+
+
+@dataclass
+class PriorityBreakdownReport:
+    """Fig. 18 data: per-channel priority shares."""
+
+    carrier: str
+    #: channel -> {priority: share} for the serving priority (SIB3).
+    serving: dict = field(default_factory=dict)
+    #: channel -> {priority: share} for candidate priorities (SIB5).
+    candidate: dict = field(default_factory=dict)
+
+    def multi_valued_channels(self, side: str = "serving") -> list[int]:
+        """Channels carrying more than one priority value."""
+        table = self.serving if side == "serving" else self.candidate
+        return sorted(ch for ch, shares in table.items() if len(shares) > 1)
+
+    def dominant_priority(self, channel: int, side: str = "serving") -> int | None:
+        table = self.serving if side == "serving" else self.candidate
+        shares = table.get(channel)
+        if not shares:
+            return None
+        return max(shares, key=shares.get)
+
+
+def priority_breakdown(store: ConfigSampleStore, carrier: str) -> PriorityBreakdownReport:
+    """Fig. 18: serving/candidate priority shares per channel."""
+    report = PriorityBreakdownReport(carrier=carrier)
+    sub = store.for_carrier(carrier).for_rat("LTE")
+    serving_values: dict[int, dict] = defaultdict(lambda: defaultdict(dict))
+    candidate_values: dict[int, dict] = defaultdict(lambda: defaultdict(dict))
+    # Candidate priorities ride SIB5 entries whose channel is the layer
+    # channel, not the broadcasting cell's channel — pair the adjacent
+    # dl_carrier_freq / priority samples per cell round.
+    by_round: dict[tuple, list] = defaultdict(list)
+    for sample in sub:
+        if sample.parameter == "cell_reselection_priority":
+            serving_values[sample.channel][sample.value][sample.gci] = True
+        elif sample.parameter in ("dl_carrier_freq", "cell_reselection_priority_inter"):
+            by_round[(sample.carrier, sample.gci, sample.observed_day, sample.round_index)].append(sample)
+    for samples in by_round.values():
+        current_freq = None
+        for sample in samples:
+            if sample.parameter == "dl_carrier_freq":
+                current_freq = int(sample.value)
+            elif current_freq is not None:
+                candidate_values[current_freq][sample.value][sample.gci] = True
+
+    def shares(values: dict) -> dict:
+        counts = {priority: len(cells) for priority, cells in values.items()}
+        total = sum(counts.values())
+        return {p: c / total for p, c in sorted(counts.items())}
+
+    report.serving = {ch: shares(v) for ch, v in sorted(serving_values.items())}
+    report.candidate = {ch: shares(v) for ch, v in sorted(candidate_values.items())}
+    return report
+
+
+def multi_valued_cell_fraction(store: ConfigSampleStore, carrier: str) -> float:
+    """Fraction of cells carrying a non-dominant priority for their channel.
+
+    The paper observes multiple-value priority settings "at 6.3% of
+    AT&T cells" — the cells whose priority disagrees with their
+    channel's dominant value, the precondition for priority loops
+    (Section 5.4.1).
+    """
+    per_channel: dict[int, dict[int, set]] = defaultdict(lambda: defaultdict(set))
+    for sample in store.for_carrier(carrier).for_rat("LTE"):
+        if sample.parameter == "cell_reselection_priority":
+            per_channel[sample.channel][sample.value].add(sample.gci)
+    total = 0
+    minority = 0
+    for values in per_channel.values():
+        counts = {priority: len(cells) for priority, cells in values.items()}
+        channel_total = sum(counts.values())
+        dominant = max(counts.values())
+        total += channel_total
+        minority += channel_total - dominant
+    if total == 0:
+        return 0.0
+    return minority / total
+
+
+def frequency_dependence(
+    store: ConfigSampleStore, carrier: str, measure: str = "simpson"
+) -> dict[str, float]:
+    """Fig. 19: zeta_{M, theta | freq} for every LTE parameter."""
+    sub = store.for_carrier(carrier).for_rat("LTE")
+    out: dict[str, float] = {}
+    for parameter in sub.parameters():
+        out[parameter] = dependence(
+            sub, parameter, factor=lambda s: s.channel, measure=measure
+        )
+    return out

@@ -1,0 +1,248 @@
+"""Radio-quality and data-performance impacts of handoffs (Figs. 6-10).
+
+All inputs are D1 handoff instances; the functions return the exact
+series the paper plots:
+
+* :func:`rsrp_change_by_event` — Fig. 6a/6b: before/after RSRP points
+  and the delta-RSRP CDF per decisive event.
+* :func:`a5_signed_split` — Fig. 6c: delta-RSRP for A5 split by the
+  sign of the threshold relation (permissive vs strict pairs).
+* :func:`throughput_by_config` — Fig. 8: minimum pre-handoff 1 s
+  throughput grouped by the decisive configuration.
+* :func:`radio_impact_pairs` — Fig. 9: the three pairwise relations
+  (Delta_A3 vs delta-RSRP; Theta_A5,S vs r_old; Theta_A5,C vs r_new).
+* :func:`idle_rsrp_change` — Fig. 10: delta-RSRP per idle handoff
+  class (intra vs non-intra x priority class).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.analysis.common import BoxStats, cdf_points, fraction_above
+from repro.datasets.records import HandoffInstance
+from repro.datasets.store import HandoffInstanceStore
+
+
+@dataclass
+class RsrpChangeReport:
+    """Fig. 6a/6b data for one carrier."""
+
+    carrier: str
+    #: event -> [(rsrp_before, rsrp_after)] scatter points.
+    scatter: dict = field(default_factory=dict)
+    #: event -> delta-RSRP CDF points.
+    delta_cdf: dict = field(default_factory=dict)
+    #: event -> fraction of handoffs with delta > 0 (improved).
+    improved: dict = field(default_factory=dict)
+    #: event -> fraction improved allowing 3 dB measurement dynamics.
+    improved_with_margin: dict = field(default_factory=dict)
+
+
+def _deltas(instances: list[HandoffInstance]) -> list[float]:
+    return [i.delta_rsrp for i in instances if i.delta_rsrp is not None]
+
+
+def rsrp_change_by_event(
+    store: HandoffInstanceStore, carrier: str, events: tuple[str, ...] = ("A3", "A5", "P")
+) -> RsrpChangeReport:
+    """Fig. 6a/6b: RSRP before/after active handoffs per decisive event."""
+    report = RsrpChangeReport(carrier=carrier)
+    active = store.active().for_carrier(carrier)
+    for event in events:
+        instances = list(active.for_event(event))
+        pairs = [
+            (i.rsrp_before, i.rsrp_after)
+            for i in instances
+            if i.rsrp_before is not None and i.rsrp_after is not None
+        ]
+        deltas = _deltas(instances)
+        report.scatter[event] = pairs
+        report.delta_cdf[event] = cdf_points(deltas)
+        report.improved[event] = fraction_above(deltas, 0.0)
+        report.improved_with_margin[event] = fraction_above(deltas, -3.0)
+    return report
+
+
+def a5_signed_split(
+    store: HandoffInstanceStore, carrier: str
+) -> dict[str, list[float]]:
+    """Fig. 6c: A5 delta-RSRP split by threshold-pair sign.
+
+    "Positive" pairs require the candidate threshold to sit above the
+    serving one (Theta_A5,C > Theta_A5,S would guarantee improvement);
+    the paper shows the weaker-signal handoffs come from the negative
+    pairs.  The serving threshold -44 dBm ("no requirement") counts as
+    negative, as the paper's AT&T RSRP case illustrates.
+    """
+    out: dict[str, list[float]] = {"A5": [], "A5(+)": [], "A5(-)": []}
+    for i in store.active().for_carrier(carrier).for_event("A5"):
+        if i.delta_rsrp is None:
+            continue
+        t1 = i.decisive_config.get("threshold1")
+        t2 = i.decisive_config.get("threshold2")
+        out["A5"].append(i.delta_rsrp)
+        if t1 is None or t2 is None:
+            continue
+        if t2 > t1:
+            out["A5(+)"].append(i.delta_rsrp)
+        else:
+            out["A5(-)"].append(i.delta_rsrp)
+    return out
+
+
+@dataclass(frozen=True)
+class ConfigGroup:
+    """One bar of Fig. 8: a decisive configuration and its label."""
+
+    label: str
+    event: str
+    metric: str | None = None
+    #: Which decisive_config key defines the group and its value.
+    key: str | None = None
+    value: float | None = None
+
+
+def throughput_by_config(
+    store: HandoffInstanceStore, carrier: str, groups: list[ConfigGroup]
+) -> dict[str, BoxStats]:
+    """Fig. 8: min pre-handoff throughput per decisive configuration."""
+    out: dict[str, BoxStats] = {}
+    active = store.active().for_carrier(carrier)
+    for group in groups:
+        values = []
+        for i in active.for_event(group.event):
+            if i.min_throughput_before_bps is None:
+                continue
+            if group.metric is not None and i.decisive_metric != group.metric:
+                continue
+            if group.key is not None:
+                observed = i.decisive_config.get(group.key)
+                if observed is None or abs(observed - group.value) > 1e-9:
+                    continue
+            values.append(i.min_throughput_before_bps)
+        out[group.label] = BoxStats.from_values(values)
+    return out
+
+
+def dominant_config_groups(
+    store: HandoffInstanceStore, carrier: str, top: int = 2
+) -> list[ConfigGroup]:
+    """The most common Fig. 8 grouping keys observed for a carrier.
+
+    A3 groups split by offset; A5 groups split by serving threshold
+    (per metric), mirroring the paper's choice of bars.
+    """
+    active = store.active().for_carrier(carrier)
+    a3_counts: dict[float, int] = defaultdict(int)
+    a5_counts: dict[tuple[str, float], int] = defaultdict(int)
+    for i in active:
+        if i.decisive_event == "A3" and "offset" in i.decisive_config:
+            a3_counts[i.decisive_config["offset"]] += 1
+        elif i.decisive_event == "A5" and "threshold1" in i.decisive_config:
+            a5_counts[(i.decisive_metric or "rsrp", i.decisive_config["threshold1"])] += 1
+    groups: list[ConfigGroup] = []
+    for offset, _ in sorted(a3_counts.items(), key=lambda kv: -kv[1])[:top]:
+        groups.append(
+            ConfigGroup(
+                label=f"A3({offset:g}dB)", event="A3", key="offset", value=offset
+            )
+        )
+    for (metric, threshold), _ in sorted(a5_counts.items(), key=lambda kv: -kv[1])[:top]:
+        groups.append(
+            ConfigGroup(
+                label=f"A5({metric},{threshold:g})",
+                event="A5",
+                metric=metric,
+                key="threshold1",
+                value=threshold,
+            )
+        )
+    groups.append(ConfigGroup(label="P", event="P"))
+    return groups
+
+
+def radio_impact_pairs(
+    store: HandoffInstanceStore, carrier: str
+) -> dict[str, dict[float, BoxStats]]:
+    """Fig. 9: the three pairwise configuration-vs-radio relations.
+
+    Returns, per relation name, a mapping from the configured value to
+    box stats of the radio quantity:
+
+    * "a3_offset_vs_delta": Delta_A3 -> delta-RSRP boxes;
+    * "a5_serving_vs_old": Theta_A5,S -> r_old boxes;
+    * "a5_candidate_vs_new": Theta_A5,C -> r_new boxes.
+    """
+    active = store.active().for_carrier(carrier)
+    a3: dict[float, list[float]] = defaultdict(list)
+    a5_old: dict[float, list[float]] = defaultdict(list)
+    a5_new: dict[float, list[float]] = defaultdict(list)
+    for i in active:
+        if i.decisive_event == "A3" and i.delta_rsrp is not None:
+            offset = i.decisive_config.get("offset")
+            if offset is not None:
+                a3[offset].append(i.delta_rsrp)
+        elif i.decisive_event == "A5":
+            t1 = i.decisive_config.get("threshold1")
+            t2 = i.decisive_config.get("threshold2")
+            if t1 is not None and i.rsrp_before is not None:
+                a5_old[t1].append(i.rsrp_before)
+            if t2 is not None and i.rsrp_after is not None:
+                a5_new[t2].append(i.rsrp_after)
+    return {
+        "a3_offset_vs_delta": {k: BoxStats.from_values(v) for k, v in sorted(a3.items())},
+        "a5_serving_vs_old": {k: BoxStats.from_values(v) for k, v in sorted(a5_old.items())},
+        "a5_candidate_vs_new": {k: BoxStats.from_values(v) for k, v in sorted(a5_new.items())},
+    }
+
+
+#: Fig. 10's series: intra-freq plus the non-intra priority classes.
+IDLE_CLASSES = ("intra", "non-intra(L)", "non-intra(E)", "non-intra(H)")
+
+
+def _idle_class(instance: HandoffInstance) -> str | None:
+    if instance.intra_freq:
+        return "intra"
+    if instance.priority_class == "lower":
+        return "non-intra(L)"
+    if instance.priority_class == "equal":
+        return "non-intra(E)"
+    if instance.priority_class == "higher":
+        return "non-intra(H)"
+    return None
+
+
+def idle_rsrp_change(
+    store: HandoffInstanceStore, carrier: str | None = None
+) -> dict[str, dict]:
+    """Fig. 10: RSRP change of idle handoffs per class.
+
+    Returns per class: scatter points, delta CDF and improved fraction.
+    The paper aggregates all four US carriers ("results are consistent
+    across different carriers"), so carrier=None pools everything.
+    """
+    idle = store.idle()
+    if carrier is not None:
+        idle = idle.for_carrier(carrier)
+    by_class: dict[str, list[HandoffInstance]] = defaultdict(list)
+    for instance in idle:
+        cls = _idle_class(instance)
+        if cls is not None:
+            by_class[cls].append(instance)
+    out: dict[str, dict] = {}
+    for cls in IDLE_CLASSES:
+        instances = by_class.get(cls, [])
+        deltas = _deltas(instances)
+        out[cls] = {
+            "scatter": [
+                (i.rsrp_before, i.rsrp_after)
+                for i in instances
+                if i.rsrp_before is not None and i.rsrp_after is not None
+            ],
+            "delta_cdf": cdf_points(deltas),
+            "improved": fraction_above(deltas, 0.0),
+            "n": len(instances),
+        }
+    return out

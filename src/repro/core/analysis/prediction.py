@@ -1,0 +1,189 @@
+"""Device-side handoff prediction (paper Section 6).
+
+"Given the observable configurations, it is feasible to predict
+handoffs at runtime at the mobile device": the device already knows the
+armed events (crawled from the measConfig) and measures the same radio
+quantities the network acts on, so evaluating the event entry
+conditions locally forecasts whether and whither a handoff is coming.
+
+:class:`HandoffPredictor` does exactly that, including time-to-trigger
+accounting, and :func:`evaluate_predictor` replays a drive to score the
+prediction lead time, precision and recall against the handoffs that
+actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cellnet.cell import CellId
+from repro.config.events import EventType, evaluate_entry
+from repro.config.lte import MeasurementConfig
+from repro.ue.measurement import FilteredMeasurement
+
+
+@dataclass(frozen=True)
+class PredictedHandoff:
+    """One prediction: a handoff toward ``target`` is imminent."""
+
+    event: EventType
+    target: CellId
+    #: Milliseconds of time-to-trigger still outstanding (0 = the
+    #: report could fire now).
+    eta_ms: int
+    #: The target's measured value of the trigger metric.
+    target_value: float
+
+
+class HandoffPredictor:
+    """Evaluates the crawled measConfig against local measurements."""
+
+    def __init__(self, meas_config: MeasurementConfig):
+        self.meas_config = meas_config
+        self._entry_since: dict = {}
+
+    def reset(self) -> None:
+        self._entry_since.clear()
+
+    def step(
+        self,
+        now_ms: int,
+        serving: FilteredMeasurement,
+        intra_rat_neighbors: list[FilteredMeasurement],
+        inter_rat_neighbors: list[FilteredMeasurement],
+    ) -> list[PredictedHandoff]:
+        """One prediction round; returns imminent handoffs, best first."""
+        if serving.rsrp_dbm > self.meas_config.s_measure:
+            # Neighbor measurement gated off: the network cannot receive
+            # neighbor reports, so no handoff can be triggered.
+            self._entry_since.clear()
+            return []
+        predictions: list[PredictedHandoff] = []
+        for config in self.meas_config.events:
+            if not config.event.needs_neighbor:
+                continue
+            neighbors = (
+                inter_rat_neighbors if config.event.is_inter_rat else intra_rat_neighbors
+            )
+            for neighbor in neighbors:
+                key = (config.event, config.metric, neighbor.cell.cell_id)
+                serving_value = serving.metric(config.metric)
+                neighbor_value = neighbor.metric(config.metric)
+                if evaluate_entry(config, serving_value, neighbor_value):
+                    started = self._entry_since.setdefault(key, now_ms)
+                    eta = max(config.time_to_trigger_ms - (now_ms - started), 0)
+                    predictions.append(
+                        PredictedHandoff(
+                            event=config.event,
+                            target=neighbor.cell.cell_id,
+                            eta_ms=eta,
+                            target_value=neighbor_value,
+                        )
+                    )
+                else:
+                    self._entry_since.pop(key, None)
+        if self.meas_config.periodic is not None and intra_rat_neighbors:
+            best = intra_rat_neighbors[0]
+            if best.rsrp_dbm > serving.rsrp_dbm + 5.0:
+                predictions.append(
+                    PredictedHandoff(
+                        event=EventType.PERIODIC,
+                        target=best.cell.cell_id,
+                        eta_ms=self.meas_config.periodic.report_interval_ms,
+                        target_value=best.rsrp_dbm,
+                    )
+                )
+        predictions.sort(key=lambda p: (p.eta_ms, -p.target_value))
+        return predictions
+
+
+@dataclass
+class PredictionScore:
+    """Accuracy of the predictor over one drive."""
+
+    n_handoffs: int = 0
+    n_predicted: int = 0
+    n_correct_target: int = 0
+    lead_times_ms: list = field(default_factory=list)
+    #: Ticks where a prediction was live but no handoff followed within
+    #: the horizon (false-positive episodes).
+    false_episodes: int = 0
+
+    @property
+    def recall(self) -> float:
+        return self.n_predicted / self.n_handoffs if self.n_handoffs else 0.0
+
+    @property
+    def target_accuracy(self) -> float:
+        return self.n_correct_target / self.n_predicted if self.n_predicted else 0.0
+
+    @property
+    def mean_lead_time_ms(self) -> float:
+        if not self.lead_times_ms:
+            return 0.0
+        return sum(self.lead_times_ms) / len(self.lead_times_ms)
+
+
+def evaluate_predictor(
+    env,
+    server,
+    carrier: str,
+    trajectory,
+    seed: int = 0,
+    horizon_ms: int = 4000,
+    tick_ms: int = 200,
+) -> PredictionScore:
+    """Replay a drive with a shadow predictor and score it.
+
+    The predictor sees exactly what the device sees (crawled measConfig
+    plus local filtered measurements) and never the network's decision
+    logic.  A handoff counts as *predicted* when a prediction naming
+    any target was live within ``horizon_ms`` before it; *correct
+    target* additionally requires the predicted target to match.
+    """
+    from repro.ue.device import RrcState, UserEquipment
+
+    ue = UserEquipment(env, server, carrier, seed=seed)
+    score = PredictionScore()
+    predictor: HandoffPredictor | None = None
+    live_predictions: list[tuple[int, PredictedHandoff]] = []
+    now_ms = 0
+    ue.initial_camp(trajectory.position(0), now_ms)
+    ue.connect(now_ms)
+    predictor = HandoffPredictor(ue.monitor.meas_config)
+    while now_ms <= trajectory.duration_ms:
+        location = trajectory.position(now_ms)
+        handoffs = ue.tick(now_ms, location)
+        for handoff in handoffs:
+            score.n_handoffs += 1
+            recent = [
+                (t, p)
+                for t, p in live_predictions
+                if handoff.time_ms - t <= horizon_ms
+            ]
+            if recent:
+                score.n_predicted += 1
+                first_t = min(t for t, _ in recent)
+                score.lead_times_ms.append(handoff.time_ms - first_t)
+                if any(p.target == handoff.target for _, p in recent):
+                    score.n_correct_target += 1
+            live_predictions.clear()
+            if ue.monitor is not None:
+                predictor = HandoffPredictor(ue.monitor.meas_config)
+        if (
+            ue.state is RrcState.CONNECTED
+            and predictor is not None
+            and ue.last_measurements is not None
+            and ue.serving is not None
+        ):
+            serving_meas = ue.last_measurements.get(ue.serving.cell_id)
+            if serving_meas is not None:
+                intra, inter = ue.meas.split_neighbors(
+                    ue.last_measurements, ue.serving
+                )
+                predictions = predictor.step(now_ms, serving_meas, intra, inter)
+                if predictions:
+                    live_predictions.append((now_ms, predictions[0]))
+                    live_predictions = live_predictions[-64:]
+        now_ms += tick_ms
+    return score

@@ -1,0 +1,64 @@
+"""Cross-RAT analyses (paper Table 4 and Fig. 22, Section 5.5).
+
+Table 4 reports, per RAT, the standardized parameter count and the
+share of D2 cells; Fig. 22 boxplots the Simpson diversity of every
+parameter per (carrier, RAT), showing diversity growing along the RAT
+evolution (GSM/CDMA nearly static, LTE/WCDMA rich).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cellnet.rat import RAT
+from repro.config.parameters import parameter_count
+from repro.core.analysis.common import BoxStats
+from repro.core.analysis.diversity import all_parameter_diversity
+from repro.datasets.store import ConfigSampleStore
+
+#: Table 4 column order.
+RAT_ORDER = (RAT.LTE, RAT.UMTS, RAT.GSM, RAT.EVDO, RAT.CDMA1X)
+
+
+@dataclass
+class RatBreakdownReport:
+    """Table 4 data."""
+
+    #: RAT name -> standardized parameter count (from the registry).
+    parameter_counts: dict = field(default_factory=dict)
+    #: RAT name -> share of unique cells in D2.
+    cell_shares: dict = field(default_factory=dict)
+    total_cells: int = 0
+
+
+def rat_breakdown(store: ConfigSampleStore) -> RatBreakdownReport:
+    """Reproduce Table 4 from a D2 build."""
+    report = RatBreakdownReport()
+    cells_per_rat: dict[str, set] = {}
+    for sample in store:
+        cells_per_rat.setdefault(sample.rat, set()).add((sample.carrier, sample.gci))
+    total = sum(len(cells) for cells in cells_per_rat.values())
+    report.total_cells = total
+    for rat in RAT_ORDER:
+        report.parameter_counts[rat.value] = parameter_count(rat)
+        n = len(cells_per_rat.get(rat.value, ()))
+        report.cell_shares[rat.value] = n / total if total else 0.0
+    return report
+
+
+def rat_diversity_boxes(
+    store: ConfigSampleStore, pairs: tuple[tuple[str, str], ...] = (
+        ("A", "LTE"), ("A", "UMTS"), ("S", "EVDO"), ("A", "GSM"),
+    )
+) -> dict[str, BoxStats]:
+    """Fig. 22: Simpson-index boxplots over all parameters per pair.
+
+    The default pairs are the paper's: ATT-LTE, ATT-WCDMA, Sprint-EVDO,
+    ATT-GSM.
+    """
+    out: dict[str, BoxStats] = {}
+    for carrier, rat in pairs:
+        sub = store.for_carrier(carrier).for_rat(rat)
+        measures = all_parameter_diversity(sub)
+        out[f"{carrier}-{rat}"] = BoxStats.from_values([m.simpson for m in measures])
+    return out

@@ -1,0 +1,110 @@
+"""Location dependence of configurations (paper Figs. 20/21, §5.4.2).
+
+Two granularities:
+
+* **City level** — normalized per-city distributions of a parameter
+  (Fig. 20 uses the serving priority over the five US cities).
+* **Proximity** — the Eq. 5 dependence measure instantiated with
+  radius-R neighborhoods: for each cell, cluster the cells within R km
+  and compare the cluster's diversity against the city-wide diversity.
+  Per-cell values form the boxplots of Fig. 21.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.cellnet.cell import Cell
+from repro.cellnet.world import RadioEnvironment
+from repro.core.analysis.common import BoxStats
+from repro.core.analysis.diversity import simpson_index
+from repro.datasets.store import ConfigSampleStore
+
+
+def city_distributions(
+    store: ConfigSampleStore,
+    parameter: str,
+    carriers: tuple[str, ...],
+    cities: tuple[str, ...],
+) -> dict[str, dict[str, dict[object, float]]]:
+    """Fig. 20: per carrier, per city, the parameter's value shares."""
+    out: dict[str, dict[str, dict[object, float]]] = {}
+    for carrier in carriers:
+        out[carrier] = {}
+        carrier_store = store.for_carrier(carrier).for_parameter(parameter)
+        for city in cities:
+            values = carrier_store.for_city(city).unique_values(parameter)
+            counts: dict[object, int] = defaultdict(int)
+            for value in values:
+                counts[value] += 1
+            total = sum(counts.values())
+            out[carrier][city] = (
+                {v: c / total for v, c in sorted(counts.items(), key=lambda kv: str(kv[0]))}
+                if total
+                else {}
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class SpatialDiversityReport:
+    """Fig. 21 data for one carrier: per-radius boxplots."""
+
+    carrier: str
+    parameter: str
+    city: str
+    #: radius km -> BoxStats over per-cell zeta values.
+    boxes: dict
+
+    def median(self, radius_km: float) -> float:
+        return self.boxes[radius_km].median
+
+
+def spatial_diversity(
+    store: ConfigSampleStore,
+    env: RadioEnvironment,
+    carrier: str,
+    city: str,
+    parameter: str = "cell_reselection_priority",
+    radii_km: tuple[float, ...] = (0.5, 1.0, 2.0),
+) -> SpatialDiversityReport:
+    """Fig. 21: proximity diversity of one parameter in one city.
+
+    For each observed cell c and radius R, take the values of
+    ``parameter`` at observed cells within R km of c and compute
+    |D(cluster) - D(city)| — the per-cell spatial instance of Eq. 5.
+    """
+    sub = store.for_carrier(carrier).for_city(city).for_parameter(parameter)
+    per_cell_value: dict[int, object] = {}
+    for sample in sub:
+        per_cell_value.setdefault(sample.gci, sample.value_key)
+    if not per_cell_value:
+        return SpatialDiversityReport(
+            carrier=carrier, parameter=parameter, city=city,
+            boxes={r: BoxStats.from_values([]) for r in radii_km},
+        )
+    city_diversity = simpson_index(per_cell_value.values())
+    locations: dict[int, Cell] = {}
+    for cell in env.registry.by_carrier(carrier):
+        if cell.cell_id.gci in per_cell_value:
+            locations[cell.cell_id.gci] = cell
+    boxes = {}
+    observed = sorted(locations)
+    for radius_km in radii_km:
+        radius_m = radius_km * 1000.0
+        zetas = []
+        for gci in observed:
+            center = locations[gci]
+            cluster_values = [
+                per_cell_value[other]
+                for other in observed
+                if locations[other].location.distance_to(center.location) <= radius_m
+            ]
+            if len(cluster_values) < 2:
+                continue
+            zetas.append(abs(simpson_index(cluster_values) - city_diversity))
+        boxes[radius_km] = BoxStats.from_values(zetas)
+    return SpatialDiversityReport(
+        carrier=carrier, parameter=parameter, city=city, boxes=boxes
+    )

@@ -1,0 +1,136 @@
+"""Temporal dynamics of configurations (paper Fig. 13, Section 5.1).
+
+Two questions: do we have enough repeated samples to observe change at
+all (Fig. 13a: samples per cell), and how often do configurations
+actually change as a function of the time gap between observations
+(Fig. 13b, split into idle-state and active-state parameter classes)?
+
+The paper's headline: changes are rare; idle-state parameters change
+far less (0.4-1.6% of cells) than active-state ones (21-24%), so
+one-time collection suffices and distribution analyses should use
+unique samples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cellnet.rat import RAT
+from repro.config.parameters import active_state_parameters
+from repro.datasets.store import ConfigSampleStore
+
+#: Time-gap buckets of Fig. 13b, in days (1/24 day = 1 hour).
+DEFAULT_GAP_BUCKETS_DAYS = (1.0 / 24.0, 1.0, 7.0, 30.0, 180.0, 10_000.0)
+
+_ACTIVE_PARAMS = {spec.name for spec in active_state_parameters(RAT.LTE)}
+
+
+def samples_per_cell_histogram(
+    store: ConfigSampleStore, parameter: str = "cell_reselection_priority"
+) -> dict[int, float]:
+    """Fig. 13a: share of cells with k samples of one SIB3 parameter.
+
+    Counts capped at 20+ as in the paper's x-axis.
+    """
+    counts = store.samples_per_cell(parameter)
+    if not counts:
+        return {}
+    histogram: dict[int, int] = defaultdict(int)
+    for n in counts.values():
+        histogram[min(n, 20)] += 1
+    total = sum(histogram.values())
+    return {k: v / total for k, v in sorted(histogram.items())}
+
+
+def multi_sample_cell_fraction(
+    store: ConfigSampleStore, parameter: str = "cell_reselection_priority"
+) -> float:
+    """Fraction of cells observed more than once (the paper's 48.1%)."""
+    counts = store.samples_per_cell(parameter)
+    if not counts:
+        return 0.0
+    return sum(1 for n in counts.values() if n > 1) / len(counts)
+
+
+@dataclass
+class TemporalDynamicsReport:
+    """Fig. 13b data: % of cells with changed configs per time gap."""
+
+    #: bucket upper bound (days) -> fraction of comparable cells whose
+    #: idle-state configuration changed within that gap.
+    idle_changed: dict = field(default_factory=dict)
+    #: Same for active-state (measConfig) parameters.
+    active_changed: dict = field(default_factory=dict)
+    #: Cells with multiple same-round samples land in the t=0 bucket.
+    same_round_changed_idle: float = 0.0
+    same_round_changed_active: float = 0.0
+
+
+def _pairwise_changes(
+    observations: dict[tuple[str, int], list[tuple[float, dict]]],
+    buckets: tuple[float, ...],
+) -> dict[float, float]:
+    """Fraction of cells changed per gap bucket.
+
+    ``observations`` maps cell -> [(day, {param: value})] sorted by day;
+    a cell counts as changed in bucket b when any two observations with
+    gap <= b differ on a shared parameter, following the paper's
+    "percentage of cells with distinct samples observed over time".
+    """
+    changed: dict[float, int] = {b: 0 for b in buckets}
+    comparable: dict[float, int] = {b: 0 for b in buckets}
+    for rounds in observations.values():
+        if len(rounds) < 2:
+            continue
+        for i in range(len(rounds)):
+            for j in range(i + 1, len(rounds)):
+                gap = abs(rounds[j][0] - rounds[i][0])
+                shared = set(rounds[i][1]) & set(rounds[j][1])
+                if not shared:
+                    continue
+                differs = any(rounds[i][1][p] != rounds[j][1][p] for p in shared)
+                for bucket in buckets:
+                    if gap <= bucket:
+                        comparable[bucket] += 1
+                        if differs:
+                            changed[bucket] += 1
+                        break
+    return {
+        bucket: (changed[bucket] / comparable[bucket] if comparable[bucket] else 0.0)
+        for bucket in buckets
+    }
+
+
+def temporal_dynamics(
+    store: ConfigSampleStore,
+    buckets: tuple[float, ...] = DEFAULT_GAP_BUCKETS_DAYS,
+) -> TemporalDynamicsReport:
+    """Fig. 13b: configuration change rates over observation gaps."""
+    idle_obs: dict[tuple[str, int], dict[tuple[float, int], dict]] = defaultdict(dict)
+    active_obs: dict[tuple[str, int], dict[tuple[float, int], dict]] = defaultdict(dict)
+    for sample in store:
+        if sample.rat != "LTE":
+            continue
+        if isinstance(sample.value, (list, tuple)):
+            value = tuple(sample.value)
+        else:
+            value = sample.value
+        target = active_obs if sample.parameter in _ACTIVE_PARAMS else idle_obs
+        key = (sample.carrier, sample.gci)
+        round_key = (sample.observed_day, sample.round_index)
+        target[key].setdefault(round_key, {})[sample.parameter] = value
+    report = TemporalDynamicsReport()
+
+    def flatten(obs) -> dict:
+        return {
+            cell: sorted(
+                ((day, params) for (day, _), params in rounds.items()),
+                key=lambda t: t[0],
+            )
+            for cell, rounds in obs.items()
+        }
+
+    report.idle_changed = _pairwise_changes(flatten(idle_obs), buckets)
+    report.active_changed = _pairwise_changes(flatten(active_obs), buckets)
+    return report

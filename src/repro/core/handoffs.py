@@ -1,0 +1,267 @@
+"""Handoff-instance extraction from device traces (dataset D1's unit).
+
+The extraction mirrors how the paper identifies instances in
+MobileInsight logs:
+
+* an **active-state handoff** is a MeasurementReport followed by an RRC
+  reconfiguration carrying mobilityControlInfo; the report's event is
+  the *decisive event* ("all the handoffs happen immediately (within
+  80-230 ms) once the last measurement report is sent"), and the gap
+  between the two messages is the report-to-handover latency;
+* an **idle-state handoff** is a serving-cell change (new SIB1) with no
+  handover command in between;
+* serving radio quality before/after comes from the PHY measurement
+  records around the switch;
+* the decisive event's *configuration* (offset, thresholds, hysteresis)
+  comes from the last measConfig received on the source cell — i.e.
+  entirely from crawled messages.
+
+Optionally, a throughput series (the tcpdump side of the paper's
+methodology) is aligned with each active instance to compute the
+minimum 1-second throughput before the handoff (Fig. 7/8's metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.events import EventType
+from repro.config.lte import LteCellConfig, MeasurementConfig
+from repro.datasets.records import HandoffInstance
+from repro.rrc.diag import DiagReader
+from repro.rrc.messages import (
+    LegacySystemInfo,
+    MeasurementReport,
+    PhyServingMeas,
+    RrcConnectionReconfiguration,
+    Sib1,
+)
+from repro.ue.device import lte_config_from_sibs
+from repro.rrc.messages import Sib3, Sib4, Sib5, Sib6, Sib7, Sib8
+
+#: How far before a handoff the minimum-throughput window extends.
+THROUGHPUT_WINDOW_MS = 10_000
+
+#: A mobility command this long after a report is considered decisive
+#: (the paper observes 80-230 ms; we allow slack for logging order).
+REPORT_HANDOVER_WINDOW_MS = 1_000
+
+
+@dataclass
+class _ServingState:
+    carrier: str = ""
+    gci: int = -1
+    channel: int = -1
+    rat: str = "LTE"
+    sibs: list = None
+    lte_config: LteCellConfig | None = None
+    meas_config: MeasurementConfig | None = None
+    last_phy: PhyServingMeas | None = None
+
+
+def _decisive_config(meas_config: MeasurementConfig | None, event: str, metric: str) -> dict:
+    """The decisive event's main parameters, from the crawled measConfig."""
+    if meas_config is None:
+        return {}
+    if event == EventType.PERIODIC.value:
+        if meas_config.periodic is None:
+            return {}
+        return {"report_interval_ms": meas_config.periodic.report_interval_ms}
+    for config in meas_config.events:
+        if config.event.value == event and config.metric == metric:
+            out: dict = {
+                "hysteresis": config.hysteresis,
+                "time_to_trigger_ms": config.time_to_trigger_ms,
+            }
+            if config.event is EventType.A3:
+                out["offset"] = config.offset
+            if config.threshold1 is not None:
+                out["threshold1"] = config.threshold1
+            if config.threshold2 is not None:
+                out["threshold2"] = config.threshold2
+            return out
+    return {}
+
+
+def _priority_class(
+    old_config: LteCellConfig | None, old_channel: int, new_rat: str, new_channel: int
+) -> str | None:
+    """Idle handoff priority class, derived from the old cell's SIBs."""
+    if old_config is None:
+        return None
+    from repro.cellnet.rat import RAT
+
+    serving_priority = old_config.serving.cell_reselection_priority
+    target_priority = old_config.priority_of_layer(RAT(new_rat), new_channel, old_channel)
+    if target_priority is None:
+        return None
+    if target_priority > serving_priority:
+        return "higher"
+    if target_priority == serving_priority:
+        return "equal"
+    return "lower"
+
+
+def _min_throughput_before(
+    throughput_series: list[tuple[int, float]] | None,
+    t_ms: int,
+    window_start_ms: int = 0,
+) -> float | None:
+    """Minimum binned throughput in the window before ``t_ms``.
+
+    ``window_start_ms`` clips the window at the previous handoff (plus
+    settling time), so one instance's pre-handoff collapse is not
+    polluted by the interruption of the handoff before it.
+    """
+    if not throughput_series:
+        return None
+    start_bound = max(t_ms - THROUGHPUT_WINDOW_MS, window_start_ms)
+    window = [
+        bps for start, bps in throughput_series if start_bound <= start < t_ms
+    ]
+    if not window:
+        return None
+    return min(window)
+
+
+def extract_handoff_instances(
+    log_bytes: bytes,
+    carrier: str,
+    throughput_series: list[tuple[int, float]] | None = None,
+    lte_only: bool = True,
+) -> list[HandoffInstance]:
+    """Extract all handoff instances from one diag log.
+
+    Args:
+        log_bytes: The binary diag log (Type-II collection).
+        carrier: Carrier acronym recorded on the instances.
+        throughput_series: Optional (bin start ms, bps) series from the
+            traffic log, for the minimum-throughput-before metric.
+        lte_only: Keep only 4G -> 4G instances, as the paper's D1 does.
+    """
+    instances: list[HandoffInstance] = []
+    state = _ServingState(sibs=[])
+    pending_report: tuple[int, MeasurementReport] | None = None
+    pending_command: tuple[int, RrcConnectionReconfiguration, int] | None = None
+    first_phy_wanted: list = []  # instances awaiting the new cell's PHY record
+    last_handoff_ms = 0  # clips the throughput window (settling time below)
+
+    def close_episode_config() -> None:
+        if state.sibs and any(isinstance(s, Sib3) for s in state.sibs):
+            state.lte_config = lte_config_from_sibs(state.sibs)
+
+    for record in DiagReader(log_bytes):
+        t = record.timestamp_ms
+        message = record.message
+        if isinstance(message, PhyServingMeas):
+            if message.gci == state.gci and message.carrier == state.carrier:
+                state.last_phy = message
+                for instance_args in list(first_phy_wanted):
+                    if instance_args["target_gci"] == message.gci:
+                        instance_args["rsrp_after"] = message.rsrp_dbm
+                        instance_args["rsrq_after"] = message.rsrq_db
+                        instances.append(HandoffInstance(**{
+                            k: v for k, v in instance_args.items() if k != "target_rat"
+                        }))
+                        first_phy_wanted.remove(instance_args)
+            continue
+        if isinstance(message, MeasurementReport):
+            pending_report = (t, message)
+            continue
+        if isinstance(message, RrcConnectionReconfiguration):
+            if message.meas_config is not None:
+                state.meas_config = message.meas_config
+            if message.mobility is not None:
+                pending_command = (t, message, state.gci)
+            continue
+        if isinstance(message, (Sib1, LegacySystemInfo)):
+            new_carrier = message.carrier
+            new_gci = message.gci
+            new_channel = message.channel
+            new_rat = message.rat
+            if state.gci >= 0 and new_gci != state.gci:
+                close_episode_config()
+                old_phy = state.last_phy
+                base = {
+                    "carrier": carrier,
+                    "time_ms": t,
+                    "source_gci": state.gci,
+                    "target_gci": new_gci,
+                    "source_channel": state.channel,
+                    "target_channel": new_channel,
+                    "intra_freq": (state.rat == new_rat and state.channel == new_channel),
+                    "rsrp_before": old_phy.rsrp_dbm if old_phy else None,
+                    "rsrq_before": old_phy.rsrq_db if old_phy else None,
+                    "rsrp_after": None,
+                    "rsrq_after": None,
+                    "target_rat": new_rat,
+                }
+                is_active = (
+                    pending_command is not None
+                    and pending_command[1].mobility.target_gci == new_gci
+                )
+                keep = not lte_only or (state.rat == "LTE" and new_rat == "LTE")
+                if is_active:
+                    command_t, command, source_gci = pending_command
+                    decisive_event = None
+                    decisive_metric = None
+                    latency = None
+                    if (
+                        pending_report is not None
+                        and command_t - pending_report[0] <= REPORT_HANDOVER_WINDOW_MS
+                    ):
+                        decisive_event = pending_report[1].event
+                        decisive_metric = pending_report[1].metric
+                        latency = command_t - pending_report[0]
+                        if base["rsrp_before"] is None:
+                            base["rsrp_before"] = pending_report[1].serving.rsrp_dbm
+                            base["rsrq_before"] = pending_report[1].serving.rsrq_db
+                    if keep:
+                        args = dict(
+                            base,
+                            kind="active",
+                            decisive_event=decisive_event,
+                            decisive_metric=decisive_metric,
+                            decisive_config=_decisive_config(
+                                state.meas_config, decisive_event or "", decisive_metric or "rsrp"
+                            ),
+                            min_throughput_before_bps=_min_throughput_before(
+                                throughput_series, t,
+                                window_start_ms=last_handoff_ms + 2_000,
+                            ),
+                            report_to_handover_ms=latency,
+                        )
+                        first_phy_wanted.append(args)
+                else:
+                    if keep:
+                        args = dict(
+                            base,
+                            kind="idle",
+                            priority_class=_priority_class(
+                                state.lte_config, state.channel, new_rat, new_channel
+                            ),
+                        )
+                        first_phy_wanted.append(args)
+                pending_command = None
+                pending_report = None
+                last_handoff_ms = t
+            if new_gci != state.gci:
+                state = _ServingState(
+                    carrier=new_carrier,
+                    gci=new_gci,
+                    channel=new_channel,
+                    rat=new_rat,
+                    sibs=[],
+                )
+            if isinstance(message, Sib1):
+                state.sibs.append(message)
+            continue
+        if isinstance(message, (Sib3, Sib4, Sib5, Sib6, Sib7, Sib8)):
+            state.sibs.append(message)
+            continue
+    # Instances whose post-handoff PHY record never arrived are kept
+    # with rsrp_after unset (trace ended right after the switch).
+    for args in first_phy_wanted:
+        instances.append(HandoffInstance(**{k: v for k, v in args.items() if k != "target_rat"}))
+    instances.sort(key=lambda i: i.time_ms)
+    return instances

@@ -1,0 +1,56 @@
+"""The MMLab facade.
+
+Ties the pieces of the paper's Fig. 4 together for library users: attach
+a collector to a device, run drives, then crawl configurations and
+extract handoff instances from the collected logs.
+
+    mmlab = MMLab()
+    collector = mmlab.attach(ue, mode="type2")
+    ... simulate ...
+    snapshots = mmlab.crawl(collector.log_bytes())
+    instances = mmlab.extract_handoffs(collector.log_bytes(), "A")
+"""
+
+from __future__ import annotations
+
+from repro.core.collector import MMLabCollector
+from repro.core.crawler import CellConfigSnapshot, ConfigCrawler, crawl_config_samples
+from repro.core.handoffs import extract_handoff_instances
+from repro.datasets.records import ConfigSample, HandoffInstance
+
+
+class MMLab:
+    """Facade over collection, crawling and instance extraction."""
+
+    def attach(self, ue, mode: str = "type2") -> MMLabCollector:
+        """Attach a fresh collector to a UE; returns the collector."""
+        collector = MMLabCollector(mode=mode)
+        ue.add_listener(collector)
+        return collector
+
+    def crawl(self, log_bytes: bytes) -> list[CellConfigSnapshot]:
+        """Parse a diag log into per-cell configuration snapshots."""
+        return ConfigCrawler.crawl(log_bytes)
+
+    def crawl_samples(
+        self, log_bytes: bytes, observed_day: float = 0.0, round_index: int = 0
+    ) -> list[ConfigSample]:
+        """Parse a diag log into flat configuration samples (D2 units)."""
+        return crawl_config_samples(
+            log_bytes, observed_day=observed_day, round_index=round_index
+        )
+
+    def extract_handoffs(
+        self,
+        log_bytes: bytes,
+        carrier: str,
+        throughput_series: list[tuple[int, float]] | None = None,
+        lte_only: bool = True,
+    ) -> list[HandoffInstance]:
+        """Extract handoff instances (D1 units) from a Type-II log."""
+        return extract_handoff_instances(
+            log_bytes,
+            carrier,
+            throughput_series=throughput_series,
+            lte_only=lte_only,
+        )

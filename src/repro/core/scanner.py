@@ -1,0 +1,63 @@
+"""Proactive cell scanning (paper Section 3.1).
+
+"To make our data collection more efficient, we enable proactive cell
+switching for the serving cell.  MMLab changes its preferred network
+type (e.g., LTE only, UMTS/CDMA only, and GSM) and even its frequency
+band to automate the switching of the serving cell.  MMLab is thus able
+to collect handoff configurations from multiple cells at a given
+location."
+
+``proactive_scan`` drives a UE through exactly that: for each RAT the
+carrier operates, and for each audible cell of that RAT (strongest
+first), the device camps and reads the broadcast — every configuration
+reaches the attached listeners as parsed-from-messages data.  The
+paper notes this intervenes with the default handoff procedure, so it
+is a Type-I-only operation.
+"""
+
+from __future__ import annotations
+
+from repro.cellnet.cell import Cell
+from repro.cellnet.rat import RAT
+from repro.ue.device import UserEquipment
+
+#: Preferred-network-type cycle MMLab walks through.
+SCAN_RAT_ORDER = (RAT.LTE, RAT.UMTS, RAT.EVDO, RAT.GSM, RAT.CDMA1X)
+
+
+def proactive_scan(
+    ue: UserEquipment,
+    location,
+    start_ms: int = 0,
+    max_cells_per_rat: int = 8,
+    detection_floor_dbm: float = -126.0,
+    camp_duration_ms: int = 400,
+) -> list[Cell]:
+    """Camp on every audible cell near ``location``, strongest first.
+
+    Returns the cells visited, in visit order.  Each camp reads the
+    cell's SIBs through the normal path, so an attached collector logs
+    them; the UE is left camped on the strongest LTE cell, restoring
+    the default behaviour the scan suspended.
+    """
+    snap = ue.meas.snapshot(location, ue.carrier)
+    rsrp, _, _ = snap.metric_arrays()
+    by_rat: dict[RAT, list[tuple[float, Cell]]] = {}
+    for i, cell in enumerate(snap.cells):
+        if rsrp[i] < detection_floor_dbm:
+            continue
+        by_rat.setdefault(cell.rat, []).append((float(rsrp[i]), cell))
+    visited: list[Cell] = []
+    now_ms = start_ms
+    for rat in SCAN_RAT_ORDER:
+        candidates = sorted(
+            by_rat.get(rat, []), key=lambda pair: (-pair[0], pair[1].cell_id)
+        )
+        for _, cell in candidates[:max_cells_per_rat]:
+            ue.camp_on(cell, now_ms)
+            now_ms += camp_duration_ms
+            visited.append(cell)
+    # Restore default camping: strongest LTE cell.
+    if visited:
+        ue.initial_camp(location, now_ms)
+    return visited

@@ -1,0 +1,211 @@
+"""MMLab's server-side orchestration (paper Fig. 4).
+
+The measurement infrastructure has two halves: participating devices
+running the MMLab app, and MMLab servers that (1) push experimentation
+"patches" to devices on the fly, (2) collect the resulting logs, and
+(3) feed configuration characterization and performance assessment.
+
+``MMLabServer`` reproduces that control loop over simulated devices:
+
+* **register** a participant (a carrier subscription in some scenario);
+* **push** an :class:`ExperimentPatch` — a Type-I collection walk or a
+  Type-II guided drive ("we run experiments around certain cells or
+  routes with configurations of interest");
+* **execute** pending patches; every run's diag log lands in the
+  server's archive;
+* **harvest** the archive into configuration samples and handoff
+  instances, ready for the analysis toolkit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.collector import MMLabCollector
+from repro.core.crawler import crawl_config_samples
+from repro.core.handoffs import extract_handoff_instances
+from repro.core.scanner import proactive_scan
+from repro.datasets.records import ConfigSample, HandoffInstance
+from repro.simulate.mobility import Trajectory
+from repro.simulate.runner import DriveSimulator
+from repro.simulate.scenarios import DriveScenario
+from repro.simulate.traffic import TrafficModel
+from repro.ue.device import UserEquipment
+
+
+@dataclass(frozen=True)
+class ExperimentPatch:
+    """One experiment spec the server pushes to a participant.
+
+    Attributes:
+        patch_id: Server-assigned identifier.
+        kind: "type1" (configuration collection at given stops) or
+            "type2" (guided drive with a data service).
+        stops: Scan locations for Type-I patches.
+        trajectory: Drive path for Type-II patches.
+        traffic: Data service for Type-II patches.
+        observed_day: Logical collection day recorded on the samples.
+    """
+
+    patch_id: int
+    kind: str
+    stops: tuple = ()
+    trajectory: Trajectory | None = None
+    traffic: TrafficModel | None = None
+    observed_day: float = 0.0
+
+
+@dataclass
+class Participant:
+    """One registered device."""
+
+    participant_id: int
+    carrier: str
+    pending: list[ExperimentPatch] = field(default_factory=list)
+
+
+@dataclass
+class CollectedLog:
+    """One harvested run: who ran what, and the resulting log."""
+
+    participant_id: int
+    carrier: str
+    patch: ExperimentPatch
+    log_bytes: bytes
+    throughput_series: list = field(default_factory=list)
+
+
+class MMLabServer:
+    """Coordinates participants, patches and log harvesting."""
+
+    def __init__(self, scenario: DriveScenario, seed: int = 0):
+        self.scenario = scenario
+        self.seed = seed
+        self._participants: dict[int, Participant] = {}
+        self._next_participant = 0
+        self._next_patch = 0
+        self.archive: list[CollectedLog] = []
+
+    # -- enrolment and scheduling ----------------------------------------
+
+    def register(self, carrier: str) -> int:
+        """Enrol a new participant; returns its id."""
+        participant_id = self._next_participant
+        self._next_participant += 1
+        self._participants[participant_id] = Participant(
+            participant_id=participant_id, carrier=carrier
+        )
+        return participant_id
+
+    def push_type1(self, participant_id: int, stops, observed_day: float = 0.0) -> int:
+        """Queue a Type-I collection patch (scan at each stop)."""
+        patch = ExperimentPatch(
+            patch_id=self._next_patch, kind="type1", stops=tuple(stops),
+            observed_day=observed_day,
+        )
+        self._next_patch += 1
+        self._participants[participant_id].pending.append(patch)
+        return patch.patch_id
+
+    def push_type2(
+        self, participant_id: int, trajectory: Trajectory, traffic: TrafficModel,
+        observed_day: float = 0.0,
+    ) -> int:
+        """Queue a Type-II guided drive."""
+        patch = ExperimentPatch(
+            patch_id=self._next_patch, kind="type2", trajectory=trajectory,
+            traffic=traffic, observed_day=observed_day,
+        )
+        self._next_patch += 1
+        self._participants[participant_id].pending.append(patch)
+        return patch.patch_id
+
+    def pending_count(self, participant_id: int) -> int:
+        return len(self._participants[participant_id].pending)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_pending(self, participant_id: int) -> int:
+        """Execute the participant's queued patches; returns run count."""
+        participant = self._participants[participant_id]
+        executed = 0
+        while participant.pending:
+            patch = participant.pending.pop(0)
+            self.archive.append(self._run_patch(participant, patch))
+            executed += 1
+        return executed
+
+    def run_all_pending(self) -> int:
+        """Execute every participant's queue."""
+        return sum(
+            self.run_pending(pid) for pid in sorted(self._participants)
+        )
+
+    def _run_patch(self, participant: Participant, patch: ExperimentPatch) -> CollectedLog:
+        if patch.kind == "type1":
+            ue = UserEquipment(
+                self.scenario.env, self.scenario.server, participant.carrier,
+                seed=self.seed * 10_000 + participant.participant_id * 100 + patch.patch_id,
+                sib_obs_rng=np.random.default_rng(
+                    (self.seed, participant.participant_id, patch.patch_id)
+                ),
+            )
+            ue.days_since_epoch = patch.observed_day
+            collector = MMLabCollector(mode="type1")
+            ue.add_listener(collector)
+            t_ms = 0
+            for stop in patch.stops:
+                proactive_scan(ue, stop, start_ms=t_ms)
+                t_ms += 60_000
+            return CollectedLog(
+                participant_id=participant.participant_id,
+                carrier=participant.carrier,
+                patch=patch,
+                log_bytes=collector.log_bytes(),
+            )
+        if patch.kind == "type2":
+            sim = DriveSimulator(
+                self.scenario.env, self.scenario.server, participant.carrier,
+                seed=self.seed * 101 + participant.participant_id,
+            )
+            result = sim.run(patch.trajectory, patch.traffic, run_index=patch.patch_id)
+            return CollectedLog(
+                participant_id=participant.participant_id,
+                carrier=participant.carrier,
+                patch=patch,
+                log_bytes=result.diag_log,
+                throughput_series=result.throughput_series(bin_ms=1000),
+            )
+        raise ValueError(f"unknown patch kind {patch.kind!r}")
+
+    # -- harvesting ------------------------------------------------------------
+
+    def harvest_config_samples(self) -> list[ConfigSample]:
+        """All configuration samples crawled from the archive."""
+        samples: list[ConfigSample] = []
+        for log in self.archive:
+            samples.extend(
+                crawl_config_samples(
+                    log.log_bytes,
+                    observed_day=log.patch.observed_day,
+                    round_index=log.patch.patch_id,
+                )
+            )
+        return samples
+
+    def harvest_handoff_instances(self) -> list[HandoffInstance]:
+        """All handoff instances extracted from Type-II runs."""
+        instances: list[HandoffInstance] = []
+        for log in self.archive:
+            if log.patch.kind != "type2":
+                continue
+            instances.extend(
+                extract_handoff_instances(
+                    log.log_bytes,
+                    log.carrier,
+                    throughput_series=log.throughput_series,
+                )
+            )
+        return instances

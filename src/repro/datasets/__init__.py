@@ -1,0 +1,55 @@
+"""Dataset synthesis and storage: D1 (handoff instances) and D2
+(large-scale configuration samples).
+
+The paper's datasets:
+
+* **D1** — 18,700+ handoff instances (14,510 active + 4,263 idle, all
+  4G -> 4G) from Type-II drives in three US cities, with throughput
+  logs.  Built here by :mod:`repro.datasets.d1` from simulated drives,
+  at a configurable scale.
+* **D2** — 7,996,149 configuration samples from 32,033 cells over 30
+  carriers (Type-I crowdsourced collection).  Built by
+  :mod:`repro.datasets.d2` from a simulated volunteer population.
+
+Both builders go through the *device-side* pipeline: simulated modems
+write diag logs, MMLab's crawler parses them, and only the parsed
+records enter the datasets.
+"""
+
+from repro.datasets.records import ConfigSample, HandoffInstance
+from repro.datasets.store import ConfigSampleStore, HandoffInstanceStore
+from repro.datasets.volunteers import Volunteer, volunteer_population
+
+# The D1/D2 builders depend on repro.core, which itself imports
+# repro.datasets.records — import them lazily (PEP 562) so that either
+# package can be imported first.
+_LAZY = {
+    "D1Options": "repro.datasets.d1",
+    "build_d1": "repro.datasets.d1",
+    "D1Build": "repro.datasets.d1",
+    "D2Options": "repro.datasets.d2",
+    "build_d2": "repro.datasets.d2",
+    "D2Build": "repro.datasets.d2",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+__all__ = [
+    "ConfigSample",
+    "HandoffInstance",
+    "ConfigSampleStore",
+    "HandoffInstanceStore",
+    "Volunteer",
+    "volunteer_population",
+    "D1Options",
+    "build_d1",
+    "D2Options",
+    "build_d2",
+]

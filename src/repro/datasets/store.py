@@ -1,0 +1,165 @@
+"""JSONL-backed dataset stores with the filters the analyses need.
+
+The stores are deliberately simple append-and-scan containers: the
+paper's analyses are all full-population statistics (distributions,
+diversity indices, CDFs), so the useful operations are filtering and
+grouping, not point lookup.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.datasets.records import ConfigSample, HandoffInstance
+
+
+class ConfigSampleStore:
+    """All configuration samples of one D2 build."""
+
+    def __init__(self, samples: Iterable[ConfigSample] = ()):
+        self._samples: list[ConfigSample] = list(samples)
+
+    def add(self, sample: ConfigSample) -> None:
+        self._samples.append(sample)
+
+    def extend(self, samples: Iterable[ConfigSample]) -> None:
+        self._samples.extend(samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[ConfigSample]:
+        return iter(self._samples)
+
+    def filter(self, predicate: Callable[[ConfigSample], bool]) -> "ConfigSampleStore":
+        """A new store holding only samples matching ``predicate``."""
+        return ConfigSampleStore(s for s in self._samples if predicate(s))
+
+    def for_carrier(self, carrier: str) -> "ConfigSampleStore":
+        return self.filter(lambda s: s.carrier == carrier)
+
+    def for_rat(self, rat: str) -> "ConfigSampleStore":
+        return self.filter(lambda s: s.rat == rat)
+
+    def for_parameter(self, parameter: str) -> "ConfigSampleStore":
+        return self.filter(lambda s: s.parameter == parameter)
+
+    def for_city(self, city: str) -> "ConfigSampleStore":
+        return self.filter(lambda s: s.city == city)
+
+    def unique_cells(self) -> set[tuple[str, int]]:
+        """(carrier, gci) pairs present in the store."""
+        return {(s.carrier, s.gci) for s in self._samples}
+
+    def parameters(self) -> list[str]:
+        """Distinct parameter names, sorted."""
+        return sorted({s.parameter for s in self._samples})
+
+    def unique_values(
+        self, parameter: str, deduplicate_cells: bool = True
+    ) -> list[object]:
+        """Observed values of one parameter.
+
+        With ``deduplicate_cells`` (the paper's "we consider unique
+        samples, so as not to tip distributions in favor of cells with
+        many same samples"), each (cell, value) pair counts once.
+        """
+        if deduplicate_cells:
+            seen = {
+                (s.carrier, s.gci, s.value_key): s.value_key
+                for s in self._samples
+                if s.parameter == parameter
+            }
+            return list(seen.values())
+        return [s.value_key for s in self._samples if s.parameter == parameter]
+
+    def group_by(
+        self, key: Callable[[ConfigSample], object]
+    ) -> dict[object, "ConfigSampleStore"]:
+        """Partition into sub-stores by an arbitrary key function."""
+        groups: dict[object, list[ConfigSample]] = defaultdict(list)
+        for sample in self._samples:
+            groups[key(sample)].append(sample)
+        return {k: ConfigSampleStore(v) for k, v in sorted(groups.items(), key=lambda kv: str(kv[0]))}
+
+    def samples_per_cell(self, parameter: str) -> dict[tuple[str, int], int]:
+        """How many samples each cell contributed for one parameter."""
+        counts: dict[tuple[str, int], int] = defaultdict(int)
+        for s in self._samples:
+            if s.parameter == parameter:
+                counts[(s.carrier, s.gci)] += 1
+        return dict(counts)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the store as JSONL."""
+        with open(path, "w", encoding="utf-8") as f:
+            for sample in self._samples:
+                f.write(sample.to_json())
+                f.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ConfigSampleStore":
+        """Read a store from JSONL."""
+        store = cls()
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    store.add(ConfigSample.from_json(line))
+        return store
+
+
+class HandoffInstanceStore:
+    """All handoff instances of one D1 build."""
+
+    def __init__(self, instances: Iterable[HandoffInstance] = ()):
+        self._instances: list[HandoffInstance] = list(instances)
+
+    def add(self, instance: HandoffInstance) -> None:
+        self._instances.append(instance)
+
+    def extend(self, instances: Iterable[HandoffInstance]) -> None:
+        self._instances.extend(instances)
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[HandoffInstance]:
+        return iter(self._instances)
+
+    def filter(
+        self, predicate: Callable[[HandoffInstance], bool]
+    ) -> "HandoffInstanceStore":
+        return HandoffInstanceStore(i for i in self._instances if predicate(i))
+
+    def active(self) -> "HandoffInstanceStore":
+        return self.filter(lambda i: i.kind == "active")
+
+    def idle(self) -> "HandoffInstanceStore":
+        return self.filter(lambda i: i.kind == "idle")
+
+    def for_carrier(self, carrier: str) -> "HandoffInstanceStore":
+        return self.filter(lambda i: i.carrier == carrier)
+
+    def for_event(self, event: str) -> "HandoffInstanceStore":
+        return self.filter(lambda i: i.decisive_event == event)
+
+    def save(self, path: str | Path) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            for instance in self._instances:
+                f.write(instance.to_json())
+                f.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "HandoffInstanceStore":
+        store = cls()
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    store.add(HandoffInstance.from_json(line))
+        return store

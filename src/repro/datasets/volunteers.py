@@ -1,0 +1,120 @@
+"""The crowdsourced volunteer population behind dataset D2.
+
+The paper distributed MMLab to 35+ volunteers across the US and the
+world who collected configuration traces intermittently between Nov
+2017 and April 2018, plus the authors' own denser collection runs in
+several US cities.  A :class:`Volunteer` models one participant: a home
+city, a carrier subscription, and a set of collection sessions spread
+over the study window.  Sessions visit cells near the volunteer's
+movement anchors; MMLab's proactive cell switching (Section 3.1) lets
+one session observe several co-located cells per stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellnet.carrier import CARRIERS
+from repro.cellnet.deployment import City, WORLD_CITIES
+from repro.cellnet.geo import Point
+
+
+@dataclass(frozen=True)
+class CollectionSession:
+    """One volunteer outing: when, where, how long."""
+
+    day: float
+    anchor: Point
+    n_stops: int
+
+
+@dataclass(frozen=True)
+class Volunteer:
+    """One participant in the Type-I crowdsourced collection."""
+
+    volunteer_id: int
+    city: City
+    carrier: str
+    sessions: tuple[CollectionSession, ...]
+    #: Dense collectors are the authors' own controlled runs: they
+    #: drive main roads 500 m - 1 km apart covering the whole city
+    #: (Section 5.4.2), giving the density the proximity analysis needs.
+    dense: bool = False
+
+
+#: Study window in days (Oct 2016 - May 2018 for the authors' runs;
+#: volunteers Nov 2017 - April 2018).
+STUDY_WINDOW_DAYS = 580.0
+VOLUNTEER_WINDOW = (410.0, 560.0)
+
+
+def volunteer_population(
+    seed: int = 11,
+    n_volunteers: int = 35,
+    sessions_per_volunteer: int = 6,
+) -> list[Volunteer]:
+    """Build the deterministic volunteer population.
+
+    Volunteers are spread over the catalogued cities proportionally to
+    city size, each subscribing to one carrier operating there.  The
+    authors' own dense collection runs (covering C1..C5 US cities, fully
+    for C3/C4/C5 and partially for C1/C2 — Section 5.4.2) are appended
+    as dense pseudo-volunteers.
+    """
+    rng = np.random.default_rng((seed, 0xD2))
+    volunteers: list[Volunteer] = []
+    weights = np.array([1 + c.rings for c in WORLD_CITIES], dtype=float)
+    weights /= weights.sum()
+    for vid in range(n_volunteers):
+        city = WORLD_CITIES[int(rng.choice(len(WORLD_CITIES), p=weights))]
+        carriers_here = sorted(
+            c.acronym for c in CARRIERS.values() if c.country == city.country
+        )
+        carrier = carriers_here[int(rng.integers(len(carriers_here)))]
+        extent = city.rings * city.site_spacing_m * 0.6
+        sessions = []
+        n_sessions = int(rng.integers(2, sessions_per_volunteer + 3))
+        for _ in range(n_sessions):
+            day = float(rng.uniform(*VOLUNTEER_WINDOW))
+            anchor = city.origin.offset(
+                float(rng.uniform(-extent, extent)), float(rng.uniform(-extent, extent))
+            )
+            sessions.append(
+                CollectionSession(day=day, anchor=anchor, n_stops=int(rng.integers(3, 10)))
+            )
+        volunteers.append(
+            Volunteer(
+                volunteer_id=vid,
+                city=city,
+                carrier=carrier,
+                sessions=tuple(sorted(sessions, key=lambda s: s.day)),
+            )
+        )
+    # The authors' dense city sweeps: every US carrier, multiple rounds
+    # spread over the full study window (this is what makes the temporal
+    # analysis possible: repeated samples of the same cells).
+    dense_id = n_volunteers
+    us_cities = [c for c in WORLD_CITIES if c.country == "US"]
+    for city in us_cities:
+        full_coverage = city.name in ("Indianapolis", "Columbus", "Lafayette")
+        for carrier in ("A", "T", "V", "S"):
+            sessions = []
+            n_rounds = 6 if full_coverage else 4
+            for round_index in range(n_rounds):
+                day = float(rng.uniform(10.0, STUDY_WINDOW_DAYS - 10.0))
+                sessions.append(
+                    CollectionSession(day=day, anchor=city.origin, n_stops=0)
+                )
+            volunteers.append(
+                Volunteer(
+                    volunteer_id=dense_id,
+                    city=city,
+                    carrier=carrier,
+                    sessions=tuple(sorted(sessions, key=lambda s: s.day)),
+                    dense=True,
+                )
+            )
+            dense_id += 1
+    return volunteers

@@ -1,0 +1,26 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Every driver module exposes ``run(...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows are the
+series the paper plots.  The benchmarks call these drivers; so can you::
+
+    from repro.experiments import registry
+    result = registry.run("fig06")
+    result.print()
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    default_d1,
+    default_d2,
+    default_scenario,
+)
+from repro.experiments import registry
+
+__all__ = [
+    "ExperimentResult",
+    "default_d1",
+    "default_d2",
+    "default_scenario",
+    "registry",
+]

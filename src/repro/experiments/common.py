@@ -1,0 +1,122 @@
+"""Shared experiment infrastructure.
+
+The paper's figures draw from two datasets; building them is the
+expensive part, so the default builds are process-cached and shared by
+every driver and benchmark.  Scale knobs:
+
+* ``default_d1()`` — a laptop-scale D1 (hundreds of instances); the
+  figures' shapes are stable at this size.
+* ``default_d2()`` — a mid-scale D2 (thousands of cells, ~1M samples).
+* ``paper_scale_d2_options()`` — options approaching the paper's
+  32k-cell scale for users with minutes to spare.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.datasets.d1 import D1Build, D1Options, build_d1
+from repro.datasets.d2 import D2Build, D2Options, build_d2
+from repro.simulate.scenarios import DriveScenario, drive_scenario
+
+
+@dataclass
+class ExperimentResult:
+    """Printable result of one experiment driver.
+
+    Attributes:
+        exp_id: Experiment id ("fig06", "tab04", ...).
+        title: Human-readable title matching the paper's artifact.
+        rows: Printable rows — tuples of (label, *values).
+        notes: Free-form remarks (sample sizes, caveats).
+    """
+
+    exp_id: str
+    title: str
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        self.rows.append(tuple(row))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def formatted(self) -> str:
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        for row in self.rows:
+            cells = []
+            for value in row:
+                if isinstance(value, float):
+                    cells.append(f"{value:.3f}")
+                else:
+                    cells.append(str(value))
+            lines.append("  " + "  ".join(cells))
+        for note in self.notes:
+            lines.append(f"  # {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.formatted())
+
+
+#: Default D1 scale: all four carriers, a few drives each.
+DEFAULT_D1_OPTIONS = D1Options(
+    seed=7,
+    config_seed=2018,
+    scenario="indianapolis",
+    active_drives=4,
+    idle_drives=3,
+    drive_duration_s=600.0,
+    carriers=("A", "T", "V", "S"),
+)
+
+#: Default D2 scale: full volunteer population plus the dense sweeps
+#: over the default world (~10k deployed cells).
+DEFAULT_D2_OPTIONS = D2Options(
+    seed=7,
+    config_seed=2018,
+    n_volunteers=35,
+    extra_rings=0,
+    include_dense=True,
+)
+
+
+def paper_scale_d2_options() -> D2Options:
+    """D2 options approaching the paper's 32k-cell scale."""
+    return D2Options(
+        seed=7,
+        config_seed=2018,
+        n_volunteers=35,
+        extra_rings=3,
+        include_dense=True,
+    )
+
+
+@functools.lru_cache(maxsize=2)
+def default_d1(scale: float = 1.0) -> D1Build:
+    """The shared default D1 build (cached per process)."""
+    options = D1Options(
+        seed=DEFAULT_D1_OPTIONS.seed,
+        config_seed=DEFAULT_D1_OPTIONS.config_seed,
+        scenario=DEFAULT_D1_OPTIONS.scenario,
+        active_drives=DEFAULT_D1_OPTIONS.active_drives,
+        idle_drives=DEFAULT_D1_OPTIONS.idle_drives,
+        drive_duration_s=DEFAULT_D1_OPTIONS.drive_duration_s,
+        scale=scale,
+        carriers=DEFAULT_D1_OPTIONS.carriers,
+    )
+    return build_d1(options)
+
+
+@functools.lru_cache(maxsize=1)
+def default_d2() -> D2Build:
+    """The shared default D2 build (cached per process)."""
+    return build_d2(DEFAULT_D2_OPTIONS)
+
+
+@functools.lru_cache(maxsize=1)
+def default_scenario() -> DriveScenario:
+    """The shared Type-II scenario for controlled experiments."""
+    return drive_scenario("indianapolis", seed=7, config_seed=2018)

@@ -1,0 +1,53 @@
+"""Extension: runtime handoff instability vs configuration conflicts.
+
+Not a figure of the paper itself, but of its agenda: Section 6 asks
+whether configurations "introduce unexpected troubles", pointing to the
+authors' instability results ([22]).  This driver measures ping-pong and
+loop rates in D1's active traces and correlates looping cells with the
+statically detected priority conflicts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.analysis.instability import detect_instability
+from repro.datasets.d1 import D1Build
+from repro.experiments.common import ExperimentResult, default_d1
+
+
+def run(d1: D1Build | None = None) -> ExperimentResult:
+    """Analyze instability per carrier over the D1 drives."""
+    d1 = d1 or default_d1()
+    result = ExperimentResult(
+        exp_id="ext-instability",
+        title="Runtime handoff instability (extension; cf. paper [22])",
+    )
+    result.add("carrier", "drive", "handoffs", "ping-pong rate", "loops")
+    per_carrier: dict[str, list] = defaultdict(list)
+    for drive in d1.drives:
+        instances = [
+            i for i in d1.store.active().for_carrier(drive.carrier)
+        ]
+        # Group the store per drive via timestamps present in this drive.
+        drive_times = {h.time_ms for h in drive.handoffs}
+        drive_instances = [i for i in instances if i.time_ms in drive_times]
+        if not drive_instances:
+            continue
+        report = detect_instability(drive_instances)
+        per_carrier[drive.carrier].append(report)
+    for carrier, reports in sorted(per_carrier.items()):
+        for index, report in enumerate(reports):
+            result.add(
+                carrier, index, report.n_handoffs,
+                report.ping_pong_rate, len(report.loops),
+            )
+    for carrier, reports in sorted(per_carrier.items()):
+        total = sum(r.n_handoffs for r in reports)
+        pp = sum(r.n_ping_pongs for r in reports)
+        loops = sum(len(r.loops) for r in reports)
+        result.note(
+            f"{carrier}: {total} handoffs, {pp} ping-pongs, {loops} loops "
+            "across drives"
+        )
+    return result

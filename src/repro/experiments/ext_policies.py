@@ -1,0 +1,50 @@
+"""Extension: per-carrier handoff-policy inference (paper Section 6).
+
+"What are the goals for operators to achieve in their policy-based
+handoffs?" — this driver crawls each study carrier's configurations and
+labels them on the performance-driven vs overhead-driven axis.
+"""
+
+from __future__ import annotations
+
+from repro.cellnet.rat import RAT
+from repro.core.analysis.policies import carrier_policy_profile
+from repro.core.crawler import ConfigCrawler
+from repro.datasets.d2 import D2Build
+from repro.experiments.common import ExperimentResult, default_d2
+from repro.rrc.diag import DiagWriter
+
+
+def run(d2: D2Build | None = None, cells_per_carrier: int = 150) -> ExperimentResult:
+    """Infer policy fingerprints for the nine study carriers."""
+    d2 = d2 or default_d2()
+    result = ExperimentResult(
+        exp_id="ext-policies",
+        title="Inferred handoff policies per carrier (extension)",
+    )
+    result.add("carrier", "n", "performance-driven", "balanced",
+               "overhead-driven", "mean eagerness")
+    snapshots = []
+    for carrier in ("A", "T", "S", "V", "CM", "SK", "MO", "CH", "CW"):
+        cells = [
+            c for c in d2.plan.registry.by_carrier(carrier) if c.rat is RAT.LTE
+        ][:cells_per_carrier]
+        writer = DiagWriter.in_memory()
+        for cell in cells:
+            for message in d2.server.sib_messages(cell):
+                writer.write(0, message)
+            writer.write(0, d2.server.connection_reconfiguration(cell))
+        snapshots.extend(ConfigCrawler.crawl(writer.getvalue()))
+    profile = carrier_policy_profile(snapshots)
+    for carrier, data in profile.items():
+        result.add(
+            carrier,
+            data["n"],
+            data["labels"].get("performance-driven", 0.0),
+            data["labels"].get("balanced", 0.0),
+            data["labels"].get("overhead-driven", 0.0),
+            data["mean_eagerness"],
+        )
+    result.note("positive eagerness = hands off early (performance-driven); "
+                "negative = defers handoffs (overhead-driven)")
+    return result

@@ -1,0 +1,35 @@
+"""Fig. 6: RSRP before/after active handoffs, per decisive event."""
+
+from __future__ import annotations
+
+from repro.core.analysis.common import fraction_above
+from repro.core.analysis.performance import a5_signed_split, rsrp_change_by_event
+from repro.datasets.d1 import D1Build
+from repro.experiments.common import ExperimentResult, default_d1
+
+
+def run(d1: D1Build | None = None, carrier: str = "A") -> ExperimentResult:
+    """Regenerate Fig. 6 (paper: AT&T; consistent for other carriers)."""
+    d1 = d1 or default_d1()
+    report = rsrp_change_by_event(d1.store, carrier)
+    result = ExperimentResult(
+        exp_id="fig06", title=f"RSRP changes in active handoffs ({carrier})"
+    )
+    result.add("event", "n", "improved%", "improved(+3dB margin)%")
+    for event in ("A3", "A5", "P"):
+        n = len(report.scatter[event])
+        result.add(
+            event,
+            n,
+            100.0 * report.improved[event],
+            100.0 * report.improved_with_margin[event],
+        )
+    split = a5_signed_split(d1.store, carrier)
+    for label in ("A5", "A5(+)", "A5(-)"):
+        deltas = split[label]
+        result.add(
+            label + " split", len(deltas), 100.0 * fraction_above(deltas, 0.0)
+        )
+    result.note("paper: A5 only ~52% improved; A3/P ~87% (94% with 3 dB margin); "
+                "weaker-signal handoffs concentrate in A5(-)")
+    return result

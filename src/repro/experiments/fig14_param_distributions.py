@@ -1,0 +1,45 @@
+"""Fig. 14: distributions of eight representative parameters (AT&T)."""
+
+from __future__ import annotations
+
+from repro.core.analysis.diversity import parameter_diversity, value_distribution
+from repro.datasets.d2 import D2Build
+from repro.experiments.common import ExperimentResult, default_d2
+
+#: The paper's eight representative parameters: paper symbol -> registry
+#: name.  (Left to right in Fig. 14.)
+REPRESENTATIVE_PARAMETERS = (
+    ("Ps", "cell_reselection_priority"),
+    ("Hs", "q_hyst"),
+    ("Delta_min", "q_rx_lev_min"),
+    ("Theta_s_lower", "thresh_serving_low_p"),
+    ("Theta_nonintra", "s_non_intra_search_p"),
+    ("Delta_A3", "a3_offset"),
+    ("Theta_A5_S", "a5_threshold1"),
+    ("T_reportTrigger", "a3_time_to_trigger"),
+)
+
+
+def run(d2: D2Build | None = None, carrier: str = "A", max_values: int = 12) -> ExperimentResult:
+    """Regenerate Fig. 14 for one carrier (paper: AT&T)."""
+    d2 = d2 or default_d2()
+    store = d2.store.for_carrier(carrier).for_rat("LTE")
+    result = ExperimentResult(
+        exp_id="fig14",
+        title=f"Distribution of eight representative parameters ({carrier})",
+    )
+    for symbol, parameter in REPRESENTATIVE_PARAMETERS:
+        measures = parameter_diversity(store, parameter)
+        distribution = value_distribution(store, parameter)
+        top = sorted(distribution, key=lambda kv: -kv[1])[:max_values]
+        result.add(
+            symbol,
+            f"D={measures.simpson:.2f}",
+            f"Cv={measures.cv:.2f}",
+            f"richness={measures.richness}",
+            " ".join(f"{v}:{100 * share:.0f}%" for v, share in top),
+        )
+    result.note("paper (AT&T): Hs single-valued (4 dB); Delta_min dominated by "
+                "-122 dBm; Theta_s_lower / Theta_nonintra / Theta_A5_S ~20+ "
+                "options; priorities spread over 2-6")
+    return result

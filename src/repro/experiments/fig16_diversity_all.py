@@ -1,0 +1,31 @@
+"""Fig. 16: diversity measures of all LTE parameters in one carrier."""
+
+from __future__ import annotations
+
+from repro.core.analysis.diversity import all_parameter_diversity
+from repro.datasets.d2 import D2Build
+from repro.experiments.common import ExperimentResult, default_d2
+
+
+def run(d2: D2Build | None = None, carrier: str = "A") -> ExperimentResult:
+    """Regenerate Fig. 16: Simpson, Cv, richness for every parameter.
+
+    Parameters are sorted by increasing Simpson index — the paper's
+    x-axis (index 0..N).
+    """
+    d2 = d2 or default_d2()
+    store = d2.store.for_carrier(carrier).for_rat("LTE")
+    measures = all_parameter_diversity(store)
+    result = ExperimentResult(
+        exp_id="fig16",
+        title=f"Diversity measures of LTE handoff parameters ({carrier})",
+    )
+    result.add("index", "parameter", "simpson", "cv", "richness")
+    for index, m in enumerate(measures):
+        result.add(index, m.parameter, m.simpson, m.cv, m.richness)
+    single_valued = sum(1 for m in measures if m.richness <= 1)
+    result.note(f"{single_valued} single-valued parameters; "
+                f"{len(measures)} parameters observed")
+    result.note("paper: the first ~8 parameters are single-valued, the next ~8 "
+                "dominated by one value; diversity is multi-faceted beyond")
+    return result

@@ -1,0 +1,31 @@
+"""Fig. 21: spatial diversity of the serving priority vs radius."""
+
+from __future__ import annotations
+
+from repro.core.analysis.spatial import spatial_diversity
+from repro.datasets.d2 import D2Build
+from repro.experiments.common import ExperimentResult, default_d2
+
+
+def run(
+    d2: D2Build | None = None,
+    city: str = "Indianapolis",
+    carriers: tuple[str, ...] = ("A", "V", "S", "T"),
+    radii_km: tuple[float, ...] = (0.5, 1.0, 2.0),
+) -> ExperimentResult:
+    """Regenerate Fig. 21 (paper: C3 = Indianapolis; AT&T/Verizon/Sprint
+    shown, T-Mobile included here to exhibit its ~zero diversity)."""
+    d2 = d2 or default_d2()
+    result = ExperimentResult(
+        exp_id="fig21", title=f"Spatial diversity for Ps under various radii ({city})"
+    )
+    result.add("carrier", "radius(km)", "n", "median zeta", "p25", "p75")
+    for carrier in carriers:
+        report = spatial_diversity(
+            d2.store, d2.env, carrier, city, radii_km=radii_km
+        )
+        for radius, box in report.boxes.items():
+            result.add(carrier, radius, box.n, box.median, box.p25, box.p75)
+    result.note("paper: AT&T/Verizon/Sprint fine-tune within <= 0.5 km "
+                "(nonzero zeta); T-Mobile's proximity diversity is almost zero")
+    return result

@@ -1,0 +1,52 @@
+"""Experiment registry: id -> driver.
+
+The experiment ids match DESIGN.md's per-experiment index; ``run(id)``
+executes the driver with the shared default datasets.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.experiments.common import ExperimentResult
+
+#: Experiment id -> driver module.
+EXPERIMENTS: dict[str, str] = {
+    "tab02": "repro.experiments.tab02_parameters",
+    "tab04": "repro.experiments.tab04_rat_breakdown",
+    "fig05": "repro.experiments.fig05_events",
+    "fig06": "repro.experiments.fig06_rsrp_change",
+    "fig07": "repro.experiments.fig07_throughput_timeline",
+    "fig08": "repro.experiments.fig08_config_throughput",
+    "fig09": "repro.experiments.fig09_radio_impacts",
+    "fig10": "repro.experiments.fig10_idle_rsrp",
+    "fig11": "repro.experiments.fig11_threshold_gaps",
+    "fig12": "repro.experiments.fig12_dataset",
+    "fig13": "repro.experiments.fig13_temporal",
+    "fig14": "repro.experiments.fig14_param_distributions",
+    "fig15": "repro.experiments.fig15_carrier_distributions",
+    "fig16": "repro.experiments.fig16_diversity_all",
+    "fig17": "repro.experiments.fig17_carrier_diversity",
+    "fig18": "repro.experiments.fig18_priority_frequency",
+    "fig19": "repro.experiments.fig19_freq_dependence",
+    "fig20": "repro.experiments.fig20_city_priorities",
+    "fig21": "repro.experiments.fig21_spatial_diversity",
+    "fig22": "repro.experiments.fig22_rat_evolution",
+    # Extensions beyond the paper's figures (its Section 6 agenda).
+    "ext-instability": "repro.experiments.ext_instability",
+    "ext-policies": "repro.experiments.ext_policies",
+}
+
+
+def run(exp_id: str, **kwargs) -> ExperimentResult:
+    """Execute one experiment driver by id."""
+    module_name = EXPERIMENTS.get(exp_id)
+    if module_name is None:
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
+    module = importlib.import_module(module_name)
+    return module.run(**kwargs)
+
+
+def all_experiment_ids() -> list[str]:
+    """All registered experiment ids, tables first then figures."""
+    return sorted(EXPERIMENTS)

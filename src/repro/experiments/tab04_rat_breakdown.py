@@ -1,0 +1,20 @@
+"""Table 4: parameter counts and cell share per RAT."""
+
+from __future__ import annotations
+
+from repro.core.analysis.rats import rat_breakdown
+from repro.datasets.d2 import D2Build
+from repro.experiments.common import ExperimentResult, default_d2
+
+
+def run(d2: D2Build | None = None) -> ExperimentResult:
+    """Regenerate Table 4 from a D2 build."""
+    d2 = d2 or default_d2()
+    report = rat_breakdown(d2.store)
+    result = ExperimentResult(exp_id="tab04", title="Breakdown per RAT")
+    result.add("rat", "n_parameters", "cell_share")
+    for rat, count in report.parameter_counts.items():
+        result.add(rat, count, report.cell_shares[rat])
+    result.note(f"total unique cells: {report.total_cells}")
+    result.note("paper: LTE 66/72%, UMTS 64/14%, GSM 9/5%, EVDO 14/5%, CDMA1x 4/4%")
+    return result

@@ -1,0 +1,55 @@
+"""Signaling-message substrate.
+
+Cellular configurations reach a phone inside signaling messages: System
+Information Blocks broadcast on the air, RRC Connection Reconfiguration
+carrying a measConfig, Measurement Reports going back up.  MMLab's whole
+premise (Section 3) is that a device can crawl configurations by parsing
+these messages — so this package implements the messages, a binary codec
+for them, the modem "diag" log format the collector records, and the
+broadcast scheduling that decides which SIBs a camped device hears.
+"""
+
+from repro.rrc.messages import (
+    Message,
+    Sib1,
+    Sib3,
+    Sib4,
+    Sib5,
+    Sib6,
+    Sib7,
+    Sib8,
+    RrcConnectionReconfiguration,
+    MeasurementReport,
+    MeasResult,
+    MobilityControlInfo,
+    LegacySystemInfo,
+    PhyServingMeas,
+)
+from repro.rrc.codec import encode_message, decode_message, CodecError
+from repro.rrc.diag import DiagRecord, DiagWriter, DiagReader, DiagError
+from repro.rrc.broadcast import ConfigServer
+
+__all__ = [
+    "Message",
+    "Sib1",
+    "Sib3",
+    "Sib4",
+    "Sib5",
+    "Sib6",
+    "Sib7",
+    "Sib8",
+    "RrcConnectionReconfiguration",
+    "MeasurementReport",
+    "MeasResult",
+    "MobilityControlInfo",
+    "LegacySystemInfo",
+    "PhyServingMeas",
+    "encode_message",
+    "decode_message",
+    "CodecError",
+    "DiagRecord",
+    "DiagWriter",
+    "DiagReader",
+    "DiagError",
+    "ConfigServer",
+]

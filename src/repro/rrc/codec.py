@@ -1,0 +1,175 @@
+"""Binary codec for signaling messages.
+
+Real LTE RRC messages are ASN.1 PER; MobileInsight's core job is
+decoding them out of the modem's diag stream.  We reproduce that code
+path with a compact self-describing TLV encoding: one tag byte per
+value, varint-encoded integers and lengths, IEEE-754 doubles, UTF-8
+strings, and nested lists/dicts.  A message wire unit is::
+
+    [type_code: varint][payload: value]
+
+where the payload value is the message's ``to_payload()`` dict.  The
+decoder is strict — unknown tags, truncated buffers and trailing bytes
+all raise :class:`CodecError` — because the crawler must notice a
+corrupt log rather than silently mis-parse configurations.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.rrc import messages as msg
+
+
+class CodecError(ValueError):
+    """Raised when a buffer cannot be decoded as a signaling message."""
+
+
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_NEG_INT = 2
+_TAG_FLOAT = 3
+_TAG_STR = 4
+_TAG_LIST = 5
+_TAG_DICT = 6
+_TAG_TRUE = 7
+_TAG_FALSE = 8
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise CodecError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise CodecError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CodecError("varint too long")
+
+
+def _encode_value(out: bytearray, value) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        if value >= 0:
+            out.append(_TAG_INT)
+            _write_varint(out, value)
+        else:
+            out.append(_TAG_NEG_INT)
+            _write_varint(out, -value)
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.extend(struct.pack("<d", value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_TAG_STR)
+        _write_varint(out, len(encoded))
+        out.extend(encoded)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        _write_varint(out, len(value))
+        for key in value:  # Insertion order: payloads are built deterministically.
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            _encode_value(out, key)
+            _encode_value(out, value[key])
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__}")
+
+
+def _decode_value(buf: bytes, pos: int):
+    if pos >= len(buf):
+        raise CodecError("truncated value")
+    tag = buf[pos]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        return _read_varint(buf, pos)
+    if tag == _TAG_NEG_INT:
+        value, pos = _read_varint(buf, pos)
+        return -value, pos
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(buf):
+            raise CodecError("truncated float")
+        return struct.unpack_from("<d", buf, pos)[0], pos + 8
+    if tag == _TAG_STR:
+        length, pos = _read_varint(buf, pos)
+        if pos + length > len(buf):
+            raise CodecError("truncated string")
+        return buf[pos : pos + length].decode("utf-8"), pos + length
+    if tag == _TAG_LIST:
+        count, pos = _read_varint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(buf, pos)
+            items.append(item)
+        return items, pos
+    if tag == _TAG_DICT:
+        count, pos = _read_varint(buf, pos)
+        result = {}
+        for _ in range(count):
+            key, pos = _decode_value(buf, pos)
+            if not isinstance(key, str):
+                raise CodecError("dict key is not a string")
+            value, pos = _decode_value(buf, pos)
+            result[key] = value
+        return result, pos
+    raise CodecError(f"unknown tag {tag}")
+
+
+def encode_message(message: msg.Message) -> bytes:
+    """Serialize a message to its binary wire form."""
+    out = bytearray()
+    _write_varint(out, message.TYPE_CODE)
+    _encode_value(out, message.to_payload())
+    return bytes(out)
+
+
+def decode_message(buf: bytes) -> msg.Message:
+    """Parse a binary wire form back into a typed message.
+
+    Raises:
+        CodecError: On unknown type codes, malformed or trailing bytes.
+    """
+    type_code, pos = _read_varint(buf, 0)
+    message_type = msg.MESSAGE_TYPES.get(type_code)
+    if message_type is None:
+        raise CodecError(f"unknown message type code {type_code:#x}")
+    payload, pos = _decode_value(buf, pos)
+    if pos != len(buf):
+        raise CodecError(f"{len(buf) - pos} trailing bytes after message")
+    if not isinstance(payload, dict):
+        raise CodecError("message payload is not a dict")
+    return message_type.from_payload(payload)

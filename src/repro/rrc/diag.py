@@ -1,0 +1,112 @@
+"""Modem diag log format.
+
+MMLab (via MobileInsight) reads signaling messages from the baseband's
+diagnostic interface on rooted Android phones.  We reproduce the shape
+of that interface as a binary record log: the simulated modem appends
+records, the collector stores the file, and the crawler parses it back
+— configurations are only ever learned *through this format*, never by
+peeking at simulator objects.
+
+Record layout (little-endian)::
+
+    magic     2 bytes   0xD1A6
+    length    4 bytes   payload byte count
+    timestamp 8 bytes   milliseconds since the trace epoch
+    checksum  2 bytes   sum of payload bytes mod 65536
+    payload   N bytes   one encoded signaling message
+
+A reader validates magic and checksum per record; corruption raises
+:class:`DiagError` with the record index for debuggability.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+from repro.rrc import messages as msg
+from repro.rrc.codec import decode_message, encode_message
+
+_MAGIC = 0xD1A6
+_HEADER = struct.Struct("<HIqH")
+
+
+class DiagError(ValueError):
+    """Raised when a diag log is corrupt or truncated."""
+
+
+@dataclass(frozen=True)
+class DiagRecord:
+    """One parsed diag record: when the modem saw which message."""
+
+    timestamp_ms: int
+    message: msg.Message
+
+
+class DiagWriter:
+    """Appends signaling messages to a binary diag log.
+
+    Works over any binary stream; :meth:`in_memory` gives a writer
+    backed by a fresh buffer, which the simulation uses per drive.
+    """
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        self.records_written = 0
+
+    @classmethod
+    def in_memory(cls) -> "DiagWriter":
+        return cls(io.BytesIO())
+
+    def write(self, timestamp_ms: int, message: msg.Message) -> None:
+        """Append one record."""
+        payload = encode_message(message)
+        checksum = sum(payload) & 0xFFFF
+        self._stream.write(_HEADER.pack(_MAGIC, len(payload), int(timestamp_ms), checksum))
+        self._stream.write(payload)
+        self.records_written += 1
+
+    def getvalue(self) -> bytes:
+        """The log bytes so far (in-memory writers only)."""
+        if not isinstance(self._stream, io.BytesIO):
+            raise TypeError("getvalue() requires an in-memory writer")
+        return self._stream.getvalue()
+
+
+class DiagReader:
+    """Parses a binary diag log back into :class:`DiagRecord` items."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+
+    @classmethod
+    def from_file(cls, path) -> "DiagReader":
+        with open(path, "rb") as f:
+            return cls(f.read())
+
+    def __iter__(self) -> Iterator[DiagRecord]:
+        data = self._data
+        pos = 0
+        index = 0
+        while pos < len(data):
+            if pos + _HEADER.size > len(data):
+                raise DiagError(f"record {index}: truncated header at byte {pos}")
+            magic, length, timestamp, checksum = _HEADER.unpack_from(data, pos)
+            if magic != _MAGIC:
+                raise DiagError(f"record {index}: bad magic {magic:#x} at byte {pos}")
+            pos += _HEADER.size
+            if pos + length > len(data):
+                raise DiagError(f"record {index}: truncated payload")
+            payload = data[pos : pos + length]
+            pos += length
+            if sum(payload) & 0xFFFF != checksum:
+                raise DiagError(f"record {index}: checksum mismatch")
+            message = decode_message(payload)
+            yield DiagRecord(timestamp_ms=timestamp, message=message)
+            index += 1
+
+    def records(self) -> list[DiagRecord]:
+        """All records as a list (convenience for small logs)."""
+        return list(self)

@@ -1,0 +1,33 @@
+"""Mobility, traffic and data-performance simulation.
+
+Stands in for the paper's Type-II driving experiments: trajectories
+through the deployed cities and highways, the three data services the
+authors ran (continuous speedtest, constant-rate iPerf, ping), and a
+SINR-driven throughput model that exposes how handoff timing shapes
+user-perceived performance.
+"""
+
+from repro.simulate.clock import SimulationClock
+from repro.simulate.mobility import Trajectory, grid_drive, highway_drive, static_position
+from repro.simulate.traffic import TrafficModel, Speedtest, ConstantRate, Ping
+from repro.simulate.throughput import ThroughputModel
+from repro.simulate.runner import DriveSimulator, DriveResult, TickSample
+from repro.simulate.scenarios import drive_scenario, DriveScenario
+
+__all__ = [
+    "SimulationClock",
+    "Trajectory",
+    "grid_drive",
+    "highway_drive",
+    "static_position",
+    "TrafficModel",
+    "Speedtest",
+    "ConstantRate",
+    "Ping",
+    "ThroughputModel",
+    "DriveSimulator",
+    "DriveResult",
+    "TickSample",
+    "drive_scenario",
+    "DriveScenario",
+]

@@ -1,0 +1,31 @@
+"""Logical simulation clock.
+
+All simulation time is logical milliseconds from a per-run epoch; wall
+clock never leaks in, which keeps every dataset build reproducible.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """Millisecond-resolution logical clock with a fixed tick."""
+
+    def __init__(self, tick_ms: int = 200, start_ms: int = 0):
+        if tick_ms <= 0:
+            raise ValueError("tick_ms must be positive")
+        self.tick_ms = tick_ms
+        self.now_ms = start_ms
+
+    def advance(self) -> int:
+        """Advance one tick; returns the new time."""
+        self.now_ms += self.tick_ms
+        return self.now_ms
+
+    def ticks_until(self, duration_ms: int) -> int:
+        """How many ticks cover ``duration_ms`` (rounded up)."""
+        return -(-duration_ms // self.tick_ms)
+
+    @property
+    def now_s(self) -> float:
+        """Current time in seconds."""
+        return self.now_ms / 1000.0

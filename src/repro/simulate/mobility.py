@@ -1,0 +1,153 @@
+"""Mobility models: the trajectories devices drive.
+
+The paper's Type-II measurements drive locally (< 50 km/h) and on
+highways (90-120 km/h) through three US cities.  We model a trajectory
+as a sampled polyline: ``Trajectory.position(t_ms)`` interpolates along
+precomputed waypoints, so the runner can query arbitrary tick times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellnet.deployment import City
+from repro.cellnet.geo import Point
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A timed path: waypoints plus the cumulative time to reach each.
+
+    Attributes:
+        waypoints: Path vertices.
+        times_ms: Arrival time at each vertex (monotonic, starts at 0).
+    """
+
+    waypoints: tuple[Point, ...]
+    times_ms: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.waypoints) != len(self.times_ms):
+            raise ValueError("waypoints and times must align")
+        if len(self.waypoints) < 2:
+            raise ValueError("a trajectory needs at least two waypoints")
+        if any(b <= a for a, b in zip(self.times_ms, self.times_ms[1:])):
+            raise ValueError("times must be strictly increasing")
+
+    @property
+    def duration_ms(self) -> int:
+        """Total trajectory duration."""
+        return self.times_ms[-1]
+
+    def position(self, t_ms: int) -> Point:
+        """Location at ``t_ms`` (clamped to the trajectory's span)."""
+        if t_ms <= self.times_ms[0]:
+            return self.waypoints[0]
+        if t_ms >= self.times_ms[-1]:
+            return self.waypoints[-1]
+        # Binary search for the segment containing t.
+        lo, hi = 0, len(self.times_ms) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.times_ms[mid] <= t_ms:
+                lo = mid
+            else:
+                hi = mid
+        t0, t1 = self.times_ms[lo], self.times_ms[hi]
+        fraction = (t_ms - t0) / (t1 - t0)
+        return self.waypoints[lo].towards(self.waypoints[hi], fraction)
+
+
+def _timed(waypoints: list[Point], speed_mps: float) -> Trajectory:
+    """Assign arrival times to a polyline at constant speed."""
+    times = [0]
+    for a, b in zip(waypoints, waypoints[1:]):
+        leg_ms = max(int(a.distance_to(b) / speed_mps * 1000.0), 1)
+        times.append(times[-1] + leg_ms)
+    return Trajectory(waypoints=tuple(waypoints), times_ms=tuple(times))
+
+
+def grid_drive(
+    city: City,
+    rng: np.random.Generator,
+    duration_s: float = 600.0,
+    speed_kmh: float = 40.0,
+    block_m: float = 450.0,
+) -> Trajectory:
+    """An urban drive on a rectilinear road grid through ``city``.
+
+    The driver moves between random lattice intersections (Manhattan
+    legs), staying within the city's deployed extent — the local
+    driving mode of the paper's experiments.
+    """
+    speed_mps = speed_kmh / 3.6
+    # Stay well inside the deployed footprint: the hex grid's radius is
+    # rings * spacing, and the square inscribed in that disc has
+    # half-width radius / sqrt(2).
+    extent = city.rings * city.site_spacing_m * 0.62
+    n_cols = max(int(2 * extent / block_m), 2)
+
+    def lattice_point(ix: int, iy: int) -> Point:
+        return city.origin.offset(ix * block_m - extent, iy * block_m - extent)
+
+    ix = int(rng.integers(0, n_cols))
+    iy = int(rng.integers(0, n_cols))
+    waypoints = [lattice_point(ix, iy)]
+    total_needed = speed_mps * duration_s
+    travelled = 0.0
+    while travelled < total_needed:
+        horizontal = rng.random() < 0.5
+        step = int(rng.integers(1, 4)) * (1 if rng.random() < 0.5 else -1)
+        if horizontal:
+            ix = min(max(ix + step, 0), n_cols - 1)
+        else:
+            iy = min(max(iy + step, 0), n_cols - 1)
+        nxt = lattice_point(ix, iy)
+        if nxt.distance_to(waypoints[-1]) < 1.0:
+            continue
+        travelled += nxt.distance_to(waypoints[-1])
+        waypoints.append(nxt)
+    return _timed(waypoints, speed_mps)
+
+
+def highway_drive(
+    start: Point,
+    end: Point,
+    rng: np.random.Generator,
+    speed_kmh: float = 105.0,
+    jitter_kmh: float = 10.0,
+) -> Trajectory:
+    """A highway run from ``start`` to ``end`` at 90-120 km/h.
+
+    Speed varies mildly leg to leg (traffic), giving non-uniform
+    waypoint timing along the corridor.
+    """
+    distance = start.distance_to(end)
+    n_legs = max(int(distance / 2000.0), 1)
+    waypoints = [start.towards(end, i / n_legs) for i in range(n_legs + 1)]
+    times = [0]
+    for a, b in zip(waypoints, waypoints[1:]):
+        leg_speed = max((speed_kmh + rng.uniform(-jitter_kmh, jitter_kmh)) / 3.6, 1.0)
+        times.append(times[-1] + max(int(a.distance_to(b) / leg_speed * 1000.0), 1))
+    return Trajectory(waypoints=tuple(waypoints), times_ms=tuple(times))
+
+
+def static_position(location: Point, duration_s: float = 600.0) -> Trajectory:
+    """A device sitting still (used by measurement-efficiency checks)."""
+    return Trajectory(
+        waypoints=(location, location.offset(0.01, 0.0)),
+        times_ms=(0, max(int(duration_s * 1000), 1)),
+    )
+
+
+def waypoint_ring(city: City, n: int = 12, radius_fraction: float = 0.6) -> list[Point]:
+    """Evenly spaced points on a circle inside the city (test anchors)."""
+    radius = city.rings * city.site_spacing_m * radius_fraction
+    return [
+        city.origin.offset(radius * math.cos(2 * math.pi * i / n),
+                           radius * math.sin(2 * math.pi * i / n))
+        for i in range(n)
+    ]

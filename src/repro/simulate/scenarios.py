@@ -1,0 +1,110 @@
+"""Canned measurement scenarios.
+
+The paper's Type-II experiments cover three US cities (Chicago,
+Indianapolis, Lafayette) and the highways between them.  A
+:class:`DriveScenario` bundles a deployment, its radio environment and
+configuration server for one of those settings, so examples, dataset
+builders and benchmarks all start from the same reproducible world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellnet.carrier import us_carriers
+from repro.cellnet.deployment import (
+    City,
+    DeploymentPlan,
+    city_by_name,
+    deploy_city,
+    deploy_highway,
+)
+from repro.cellnet.geo import Point
+from repro.cellnet.world import RadioEnvironment
+from repro.rrc.broadcast import ConfigServer
+from repro.simulate.mobility import Trajectory, grid_drive, highway_drive
+
+#: The Type-II cities of the paper (Section 4 experimental settings).
+TYPE2_CITIES = ("Chicago", "Indianapolis", "Lafayette")
+
+
+@dataclass
+class DriveScenario:
+    """One ready-to-drive world: deployment + environment + configs."""
+
+    name: str
+    cities: list[City]
+    plan: DeploymentPlan
+    env: RadioEnvironment
+    server: ConfigServer
+    highway_endpoints: tuple[Point, Point] | None = None
+
+    def urban_trajectory(
+        self, rng: np.random.Generator, city_name: str | None = None,
+        duration_s: float = 600.0, speed_kmh: float = 40.0,
+    ) -> Trajectory:
+        """A local drive in one of the scenario's cities."""
+        city = self.cities[0]
+        if city_name is not None:
+            city = next(c for c in self.cities if c.name == city_name)
+        return grid_drive(city, rng, duration_s=duration_s, speed_kmh=speed_kmh)
+
+    def highway_trajectory(
+        self, rng: np.random.Generator, speed_kmh: float = 105.0
+    ) -> Trajectory:
+        """A highway run along the scenario's corridor (if deployed)."""
+        if self.highway_endpoints is None:
+            raise ValueError(f"scenario {self.name!r} has no highway corridor")
+        start, end = self.highway_endpoints
+        return highway_drive(start, end, rng, speed_kmh=speed_kmh)
+
+
+def drive_scenario(
+    name: str = "indianapolis",
+    seed: int = 7,
+    config_seed: int = 2018,
+    with_highway: bool = False,
+) -> DriveScenario:
+    """Build a Type-II scenario.
+
+    Args:
+        name: One of "chicago", "indianapolis", "lafayette" (single
+            city) or "tri-city" (all three plus a highway corridor).
+        seed: Deployment seed.
+        config_seed: Configuration-profile seed.
+        with_highway: Deploy a highway corridor out of the single city.
+    """
+    carriers = us_carriers()
+    plan = DeploymentPlan()
+    if name == "tri-city":
+        cities = [city_by_name(c) for c in TYPE2_CITIES]
+        for city in cities:
+            deploy_city(city, plan, seed, carriers=carriers)
+        start = cities[1].origin  # Indianapolis -> Lafayette corridor.
+        end = cities[2].origin
+        corridor_start = start.offset(cities[1].rings * cities[1].site_spacing_m, 0.0)
+        corridor_end = corridor_start.offset(40_000.0, 0.0)
+        deploy_highway(corridor_start, corridor_end, plan, seed, carriers, name="I-65")
+        endpoints = (corridor_start, corridor_end)
+    else:
+        city = city_by_name(name.capitalize() if name != "lafayette" else "Lafayette")
+        cities = [city]
+        deploy_city(city, plan, seed, carriers=carriers)
+        endpoints = None
+        if with_highway:
+            edge = city.origin.offset(city.rings * city.site_spacing_m, 0.0)
+            far = edge.offset(40_000.0, 0.0)
+            deploy_highway(edge, far, plan, seed, carriers, name=f"{city.name}-hwy")
+            endpoints = (edge, far)
+    env = RadioEnvironment(plan)
+    server = ConfigServer(env, seed=config_seed)
+    return DriveScenario(
+        name=name,
+        cities=cities,
+        plan=plan,
+        env=env,
+        server=server,
+        highway_endpoints=endpoints,
+    )

@@ -1,0 +1,85 @@
+"""Data-performance model: SINR to user throughput.
+
+The paper's performance figures (Fig. 7/8) bin throughput at 100 ms and
+1 s around handoffs.  We model per-tick link capacity as truncated-
+Shannon spectral efficiency over the serving cell's bandwidth, scaled by
+a slowly varying cell-load share, and zero during handover interruption.
+The characteristic pre-handoff throughput collapse then *emerges* from
+handoff timing: a config that defers handoffs (large Delta_A3, strict
+A5 serving threshold) keeps the UE on a decaying SINR longer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cellnet.cell import Cell
+from repro.util import stable_hash
+
+#: Attenuation from Shannon capacity to practical LTE link adaptation
+#: (3GPP TR 36.942-style truncated Shannon).
+_LINK_EFFICIENCY = 0.6
+
+#: Spectral-efficiency cap (64-QAM, 2x2 MIMO practical ceiling).
+_MAX_SPECTRAL_EFFICIENCY = 4.4
+
+#: SINR below which the link cannot sustain data.
+_MIN_SINR_DB = -6.5
+
+
+class ThroughputModel:
+    """Maps (serving cell, SINR, time) to achievable user throughput."""
+
+    def __init__(self, rng: np.random.Generator, mean_load_share: float = 0.55):
+        self.rng = rng
+        self.mean_load_share = mean_load_share
+        self._cell_load: dict = {}
+
+    def _load_share(self, cell: Cell, now_ms: int) -> float:
+        """This user's share of the cell, re-drawn every few seconds.
+
+        Models other users' load without simulating them: a bounded
+        random walk per cell, refreshed on a 4-second grid.
+        """
+        epoch = now_ms // 4000
+        key = (cell.cell_id, epoch)
+        share = self._cell_load.get(key)
+        if share is None:
+            base_rng = np.random.default_rng(
+                (stable_hash(cell.cell_id.carrier) & 0xFFFF, cell.cell_id.gci, epoch)
+            )
+            share = float(
+                np.clip(base_rng.normal(self.mean_load_share, 0.15), 0.15, 0.95)
+            )
+            if len(self._cell_load) > 8192:
+                self._cell_load.clear()
+            self._cell_load[key] = share
+        return share
+
+    def capacity_bps(self, cell: Cell, sinr_db: float, now_ms: int) -> float:
+        """Achievable downlink throughput right now, in bits/second."""
+        if sinr_db < _MIN_SINR_DB:
+            return 0.0
+        sinr_linear = 10.0 ** (sinr_db / 10.0)
+        efficiency = min(
+            _LINK_EFFICIENCY * math.log2(1.0 + sinr_linear), _MAX_SPECTRAL_EFFICIENCY
+        )
+        bandwidth_hz = cell.bandwidth_mhz * 1e6 * 0.9  # control overhead
+        return efficiency * bandwidth_hz * self._load_share(cell, now_ms)
+
+    def rtt_ms(self, sinr_db: float) -> float:
+        """Round-trip time estimate for the ping service."""
+        base = 32.0
+        if sinr_db < 0.0:
+            base += min(-sinr_db * 12.0, 180.0)  # HARQ retransmissions
+        return base + float(self.rng.exponential(6.0))
+
+    def ping_lost(self, sinr_db: float, interrupted: bool) -> bool:
+        """Whether one ping would be dropped."""
+        if interrupted:
+            return True
+        if sinr_db < _MIN_SINR_DB:
+            return True
+        return bool(self.rng.random() < 0.002)

@@ -1,0 +1,96 @@
+"""Traffic models: the data services the paper's experiments ran.
+
+Type-II measurements ran one of three services per drive: continuous
+speedtest, constant-rate iPerf (5 kbps and 1 Mbps) and a 5-second ping.
+A traffic model turns per-tick link capacity into per-tick *delivered*
+bytes (or RTT samples for ping); the dataset builder later aligns the
+series with handoff instances, playing the role of tcpdump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TrafficModel:
+    """Base traffic model: converts capacity into delivered traffic."""
+
+    name = "none"
+
+    def delivered_bits(self, capacity_bps: float, tick_ms: int, now_ms: int) -> float:
+        """Bits delivered during one tick of ``tick_ms`` at ``capacity_bps``."""
+        raise NotImplementedError
+
+    @property
+    def generates_user_traffic(self) -> bool:
+        """Whether the service keeps the UE in RRC connected state."""
+        return True
+
+
+@dataclass
+class Speedtest(TrafficModel):
+    """Continuous speedtest: a greedy bulk transfer using all capacity."""
+
+    name: str = "speedtest"
+
+    def delivered_bits(self, capacity_bps: float, tick_ms: int, now_ms: int) -> float:
+        return capacity_bps * tick_ms / 1000.0
+
+
+@dataclass
+class ConstantRate(TrafficModel):
+    """Constant-rate iPerf: delivers min(rate, capacity) with backlog.
+
+    Undelivered data queues (up to a bounded backlog) and drains when
+    capacity returns — matching UDP iPerf behaviour around handoffs.
+    """
+
+    rate_bps: float = 1_000_000.0
+    name: str = "iperf"
+    max_backlog_bits: float = 4_000_000.0
+    _backlog_bits: float = field(default=0.0, repr=False)
+
+    def delivered_bits(self, capacity_bps: float, tick_ms: int, now_ms: int) -> float:
+        offered = self.rate_bps * tick_ms / 1000.0 + self._backlog_bits
+        deliverable = capacity_bps * tick_ms / 1000.0
+        delivered = min(offered, deliverable)
+        self._backlog_bits = min(offered - delivered, self.max_backlog_bits)
+        return delivered
+
+
+@dataclass
+class Ping(TrafficModel):
+    """Ping every ``interval_s`` seconds (the paper pings Google at 5 s).
+
+    Carries negligible data; RTT/loss are sampled by the runner when a
+    probe is due.
+    """
+
+    interval_s: float = 5.0
+    name: str = "ping"
+
+    def delivered_bits(self, capacity_bps: float, tick_ms: int, now_ms: int) -> float:
+        return 0.0
+
+    def probe_due(self, now_ms: int, tick_ms: int) -> bool:
+        """Whether a probe fires during the tick ending at ``now_ms``."""
+        interval_ms = int(self.interval_s * 1000)
+        return now_ms % interval_ms < tick_ms
+
+    @property
+    def generates_user_traffic(self) -> bool:
+        return True
+
+
+@dataclass
+class NoTraffic(TrafficModel):
+    """No user traffic: the idle-state measurement mode."""
+
+    name: str = "idle"
+
+    def delivered_bits(self, capacity_bps: float, tick_ms: int, now_ms: int) -> float:
+        return 0.0
+
+    @property
+    def generates_user_traffic(self) -> bool:
+        return False

@@ -1,0 +1,34 @@
+"""Device-side 3GPP handoff state machines.
+
+Implements the four-to-five step procedure of the paper's Figure 1 from
+the device's point of view: receive configuration (``device``), measure
+(``measurement``), report (``reporting``), decide (``reselection`` for
+idle-state, the network side in ``handover`` for active-state) and
+execute (``handover``).
+"""
+
+from repro.ue.measurement import FilteredMeasurement, MeasurementEngine
+from repro.ue.reporting import EventMonitor, TriggeredReport
+from repro.ue.reselection import ReselectionEngine, rank_candidates
+from repro.ue.legacy_reselection import LegacyReselectionEngine, LegacyReselection
+from repro.ue.handover import NetworkController, HandoverCommand
+from repro.ue.device import RrcState, UserEquipment, HandoffEvent
+from repro.ue.umts_active_set import ActiveSetManager, ActiveSetUpdate
+
+__all__ = [
+    "FilteredMeasurement",
+    "MeasurementEngine",
+    "EventMonitor",
+    "TriggeredReport",
+    "ReselectionEngine",
+    "rank_candidates",
+    "LegacyReselectionEngine",
+    "LegacyReselection",
+    "NetworkController",
+    "HandoverCommand",
+    "RrcState",
+    "UserEquipment",
+    "HandoffEvent",
+    "ActiveSetManager",
+    "ActiveSetUpdate",
+]

@@ -1,0 +1,119 @@
+"""Network-side active-state handoff decision and execution.
+
+In an active-state handoff, the serving cell receives the UE's
+measurement report and decides whether to hand the device over and to
+which target (paper Fig. 1, steps 3-4).  The paper finds the *last*
+reporting event decisive: once a report carrying a suitable candidate
+arrives (A3, A5 or periodic), the handover command follows within
+80-230 ms.
+
+The decision itself combines the reported radio evaluation with the
+network's layer preferences (frequency priorities) — the paper's [22]
+treats radio evaluation as necessary but not sufficient; we model the
+extra network discretion as a priority-aware pick among reported
+candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellnet.cell import Cell
+from repro.cellnet.world import RadioEnvironment
+from repro.config.events import EventType
+from repro.rrc.broadcast import ConfigServer
+from repro.rrc.messages import MeasurementReport, MobilityControlInfo
+
+#: Bounds of the report-to-handover latency the paper measures
+#: ("handoffs happen immediately (within 80-230 ms) once the last
+#: measurement report is sent").
+DECISION_DELAY_RANGE_MS = (80, 230)
+
+#: Bounds of the user-plane interruption during handover execution.
+EXECUTION_INTERRUPTION_RANGE_MS = (40, 80)
+
+#: Periodic reports carry no event criterion, so the network applies its
+#: own margin before acting on them.
+_PERIODIC_DECISION_MARGIN_DB = 4.0
+
+
+@dataclass(frozen=True)
+class HandoverCommand:
+    """A scheduled handover: what the network told the UE to do."""
+
+    issued_at_ms: int
+    execute_at_ms: int
+    interruption_ms: int
+    decisive_event: EventType
+    mobility: MobilityControlInfo
+
+
+class NetworkController:
+    """Serving-cell logic reacting to measurement reports."""
+
+    def __init__(self, env: RadioEnvironment, server: ConfigServer, rng: np.random.Generator):
+        self.env = env
+        self.server = server
+        self.rng = rng
+
+    def _candidate_score(self, serving: Cell, report: MeasurementReport, candidate) -> float:
+        """Network preference among reported candidates.
+
+        Radio quality dominates, with a small bonus per priority step so
+        a recently acquired high-priority layer (paper Section 5.4.1,
+        band 30) attracts handoffs when quality is comparable.
+        """
+        cell = self.env.get_cell(candidate.cell_id)
+        config = self.server.lte_config(serving)
+        priority = config.priority_of_layer(cell.rat, cell.channel, serving.channel)
+        serving_priority = config.serving.cell_reselection_priority
+        bonus = 0.0
+        if priority is not None:
+            bonus = 1.5 * (priority - serving_priority)
+        return candidate.rsrp_dbm + bonus
+
+    def on_measurement_report(
+        self, now_ms: int, serving: Cell, report: MeasurementReport
+    ) -> HandoverCommand | None:
+        """Decide on one report; returns the handover command, if any.
+
+        A1/A2 reports carry no candidate and never trigger a handover by
+        themselves (the paper: "event A2 should not trigger a handoff
+        unless there is a strong candidate cell").  Periodic reports are
+        acted on only when the best candidate beats the serving cell by
+        the network margin.
+        """
+        event = EventType(report.event)
+        candidates = [
+            n for n in report.neighbors if n.cell_id != serving.cell_id
+        ]
+        if not candidates:
+            return None
+        if event is EventType.PERIODIC:
+            best_value = max(n.rsrp_dbm for n in candidates)
+            serving_value = report.serving.rsrp_dbm
+            if best_value < serving_value + _PERIODIC_DECISION_MARGIN_DB:
+                return None
+        best = max(
+            candidates,
+            key=lambda n: (self._candidate_score(serving, report, n), -n.gci),
+        )
+        target = self.env.get_cell(best.cell_id)
+        decision_delay = int(self.rng.integers(*DECISION_DELAY_RANGE_MS))
+        interruption = int(self.rng.integers(*EXECUTION_INTERRUPTION_RANGE_MS))
+        mobility = MobilityControlInfo(
+            target_carrier=target.carrier,
+            target_gci=target.cell_id.gci,
+            target_channel=target.channel,
+            target_pci=target.pci,
+            target_rat=target.rat.value,
+        )
+        return HandoverCommand(
+            issued_at_ms=now_ms,
+            execute_at_ms=now_ms + decision_delay,
+            interruption_ms=interruption,
+            decisive_event=event,
+            mobility=mobility,
+        )

@@ -1,0 +1,206 @@
+"""Idle-mode reselection for devices camped on legacy (non-LTE) cells.
+
+The study's handoff machinery is 4G-centric, but inter-RAT reselections
+do park devices on 3G/2G cells, and how they *come back* shapes the 4G
+availability findings of Section 5.4.1.  Each legacy RAT gets its own
+standard behaviour:
+
+* **UMTS** — SIB19 absolute-priority reselection toward E-UTRA
+  (priority_eutra vs priority_serving, thresh_high_eutra over the
+  q_rxlevmin_eutra floor, t_reselection_eutra persistence) plus
+  classic ranking-based intra-UMTS reselection with q_Hyst1s.
+* **GSM** — the C2 criterion: C2 = RSSI + CELL_RESELECT_OFFSET -
+  TEMPORARY_OFFSET (while the penalty timer runs); a neighbor must beat
+  the serving C2 by CELL_RESELECT_HYSTERESIS.  Return to LTE follows
+  the network-controlled release-with-redirection pattern once LTE
+  coverage is decent.
+* **EVDO / CDMA1x** — pilot comparison: a neighbor pilot must exceed
+  the serving one by T_COMP (in 0.5 dB units) to take over; LTE return
+  as for GSM.
+
+All rules carry a persistence timer like LTE's Treselection, so the
+engines share the same flapping behaviour the paper's mechanisms are
+designed to damp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cellnet.cell import Cell, CellId
+from repro.cellnet.rat import RAT
+from repro.config.legacy import (
+    Cdma1xCellConfig,
+    EvdoCellConfig,
+    GsmCellConfig,
+    LegacyCellConfig,
+    UmtsCellConfig,
+)
+from repro.ue.measurement import FilteredMeasurement
+
+#: LTE level a GSM/CDMA-camped device needs before the network
+#: redirects it back (no E-UTRA priority information is broadcast on
+#: those RATs in our model, as in many real 2G deployments).
+LTE_RETURN_THRESHOLD_DBM = -108.0
+
+#: Persistence for the 2G return-to-LTE rule, milliseconds.
+LTE_RETURN_PERSISTENCE_MS = 4_000
+
+
+@dataclass(frozen=True)
+class LegacyReselection:
+    """One legacy reselection decision."""
+
+    target: FilteredMeasurement
+    #: "higher" for returns to LTE, "equal" for intra-RAT moves.
+    priority_class: str
+
+    @property
+    def cell(self) -> Cell:
+        return self.target.cell
+
+
+@dataclass
+class LegacyReselectionEngine:
+    """Reselection rules for a device camped on a legacy cell."""
+
+    _winning_since: dict[CellId, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self._winning_since.clear()
+
+    def _persist(self, now_ms: int, key: CellId, needed_ms: int) -> bool:
+        started = self._winning_since.setdefault(key, now_ms)
+        return now_ms - started >= needed_ms
+
+    def _prune(self, candidates: set[CellId]) -> None:
+        for stale in [k for k in self._winning_since if k not in candidates]:
+            del self._winning_since[stale]
+
+    def step(
+        self,
+        now_ms: int,
+        serving: FilteredMeasurement,
+        config: LegacyCellConfig,
+        neighbors: list[FilteredMeasurement],
+    ) -> LegacyReselection | None:
+        """One decision round for the camped legacy device."""
+        if isinstance(config, UmtsCellConfig):
+            return self._step_umts(now_ms, serving, config, neighbors)
+        if isinstance(config, GsmCellConfig):
+            return self._step_gsm(now_ms, serving, config, neighbors)
+        if isinstance(config, (EvdoCellConfig, Cdma1xCellConfig)):
+            return self._step_cdma(now_ms, serving, config, neighbors)
+        raise TypeError(f"not a legacy config: {type(config).__name__}")
+
+    # -- UMTS ------------------------------------------------------------
+
+    def _step_umts(
+        self,
+        now_ms: int,
+        serving: FilteredMeasurement,
+        config: UmtsCellConfig,
+        neighbors: list[FilteredMeasurement],
+    ) -> LegacyReselection | None:
+        winners: list[tuple[int, LegacyReselection, int]] = []
+        considered: set[CellId] = set()
+        eutra_higher = config.priority_eutra > config.priority_serving
+        t_eutra_ms = config.t_reselection_eutra * 1000
+        t_intra_ms = config.t_reselection_s * 1000
+        for neighbor in neighbors:
+            cell = neighbor.cell
+            if cell.rat is RAT.LTE and eutra_higher:
+                level = neighbor.rsrp_dbm - config.q_rxlevmin_eutra
+                if level > config.thresh_high_eutra:
+                    considered.add(cell.cell_id)
+                    if self._persist(now_ms, cell.cell_id, t_eutra_ms):
+                        winners.append((
+                            config.priority_eutra,
+                            LegacyReselection(neighbor, "higher"),
+                            1,
+                        ))
+            elif cell.rat is RAT.UMTS:
+                if neighbor.rsrp_dbm > serving.rsrp_dbm + config.q_hyst_1s:
+                    considered.add(cell.cell_id)
+                    if self._persist(now_ms, cell.cell_id, t_intra_ms):
+                        winners.append((
+                            config.priority_serving,
+                            LegacyReselection(neighbor, "equal"),
+                            0,
+                        ))
+        self._prune(considered)
+        if not winners:
+            return None
+        winners.sort(
+            key=lambda w: (-w[0], -w[2], -w[1].target.rsrp_dbm, w[1].cell.cell_id)
+        )
+        return winners[0][1]
+
+    # -- GSM ---------------------------------------------------------------
+
+    def _c2(self, measurement: FilteredMeasurement, config: GsmCellConfig,
+            is_serving: bool) -> float:
+        """The C2 reselection criterion (penalty timer expired)."""
+        value = measurement.rsrp_dbm
+        if not is_serving and config.c2_enabled:
+            value += config.cell_reselect_offset
+        return value
+
+    def _step_gsm(
+        self,
+        now_ms: int,
+        serving: FilteredMeasurement,
+        config: GsmCellConfig,
+        neighbors: list[FilteredMeasurement],
+    ) -> LegacyReselection | None:
+        considered: set[CellId] = set()
+        serving_c2 = self._c2(serving, config, is_serving=True)
+        best: LegacyReselection | None = None
+        for neighbor in neighbors:
+            cell = neighbor.cell
+            if cell.rat is RAT.LTE:
+                if neighbor.rsrp_dbm > LTE_RETURN_THRESHOLD_DBM:
+                    considered.add(cell.cell_id)
+                    if self._persist(now_ms, cell.cell_id, LTE_RETURN_PERSISTENCE_MS):
+                        candidate = LegacyReselection(neighbor, "higher")
+                        if best is None or candidate.target.rsrp_dbm > best.target.rsrp_dbm or best.priority_class != "higher":
+                            best = candidate
+            elif cell.rat is RAT.GSM and best is None:
+                c2 = self._c2(neighbor, config, is_serving=False)
+                if c2 > serving_c2 + config.cell_reselect_hysteresis:
+                    considered.add(cell.cell_id)
+                    if self._persist(now_ms, cell.cell_id, 5_000):
+                        best = LegacyReselection(neighbor, "equal")
+        self._prune(considered)
+        return best
+
+    # -- CDMA family ---------------------------------------------------------
+
+    def _step_cdma(
+        self,
+        now_ms: int,
+        serving: FilteredMeasurement,
+        config: EvdoCellConfig | Cdma1xCellConfig,
+        neighbors: list[FilteredMeasurement],
+    ) -> LegacyReselection | None:
+        t_comp = (
+            config.pilot_compare
+            if isinstance(config, EvdoCellConfig)
+            else config.t_comp
+        )
+        considered: set[CellId] = set()
+        best: LegacyReselection | None = None
+        for neighbor in neighbors:
+            cell = neighbor.cell
+            if cell.rat is RAT.LTE:
+                if neighbor.rsrp_dbm > LTE_RETURN_THRESHOLD_DBM:
+                    considered.add(cell.cell_id)
+                    if self._persist(now_ms, cell.cell_id, LTE_RETURN_PERSISTENCE_MS):
+                        best = LegacyReselection(neighbor, "higher")
+            elif cell.rat is serving.cell.rat and best is None:
+                if neighbor.rsrp_dbm > serving.rsrp_dbm + t_comp:
+                    considered.add(cell.cell_id)
+                    if self._persist(now_ms, cell.cell_id, 3_000):
+                        best = LegacyReselection(neighbor, "equal")
+        self._prune(considered)
+        return best

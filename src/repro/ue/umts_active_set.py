@@ -1,0 +1,164 @@
+"""UMTS soft-handover active-set management (events 1a/1b/1c).
+
+3G WCDMA differs from LTE's break-before-make handover: a connected
+device holds an *active set* of cells it communicates with
+simultaneously, updated by the intra-frequency reporting events whose
+parameters the paper's UMTS registry carries (Table 4):
+
+* **1a** — a monitored cell enters the reporting range of the best
+  active cell: add it (if the set has room);
+* **1b** — an active cell falls out of the (wider) 1b range: remove it
+  (never emptying the set);
+* **1c** — a monitored cell becomes better than the worst active cell
+  while the set is full: replace that worst cell.
+
+Conditions follow TS 25.331 14.1 with the registry's parameters::
+
+    1a: M_new >= M_best - (reporting_range_1a - H_1a / 2)
+    1b: M_old <= M_best - (reporting_range_1b + H_1b / 2)
+    1c: M_new >= M_worst_active + H_1c / 2
+
+each sustained for its time-to-trigger.  The module is self-contained
+(driven with filtered measurements) so the 3G configuration population
+in D2 can be exercised end-to-end, mirroring how the LTE machinery
+exercises the 4G population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cellnet.cell import Cell, CellId
+from repro.cellnet.rat import RAT
+from repro.config.legacy import UmtsCellConfig
+from repro.ue.measurement import FilteredMeasurement
+
+#: WCDMA active sets are small; three-way soft handover is the classic
+#: maximum in deployed networks.
+DEFAULT_MAX_ACTIVE_SET = 3
+
+
+@dataclass(frozen=True)
+class ActiveSetUpdate:
+    """One executed active-set change."""
+
+    time_ms: int
+    kind: str  # "add", "remove" or "replace"
+    cell: Cell
+    #: For "replace": the cell that left the set.
+    removed: Cell | None = None
+
+
+@dataclass
+class ActiveSetManager:
+    """Runs the 1a/1b/1c machinery for one connected UMTS device."""
+
+    config: UmtsCellConfig
+    max_size: int = DEFAULT_MAX_ACTIVE_SET
+    _active: dict[CellId, Cell] = field(default_factory=dict)
+    _entry_since: dict[tuple[str, CellId], int] = field(default_factory=dict)
+
+    def start(self, initial: Cell) -> None:
+        """Seed the set with the cell the connection was set up on."""
+        if initial.rat is not RAT.UMTS:
+            raise ValueError("active sets manage UMTS cells")
+        self._active = {initial.cell_id: initial}
+        self._entry_since.clear()
+
+    @property
+    def active_cells(self) -> list[Cell]:
+        """Current active set, deterministic order."""
+        return [self._active[k] for k in sorted(self._active)]
+
+    @property
+    def size(self) -> int:
+        return len(self._active)
+
+    def __contains__(self, cell: Cell) -> bool:
+        return cell.cell_id in self._active
+
+    def _persist(self, now_ms: int, key: tuple[str, CellId], ttt_ms: int) -> bool:
+        started = self._entry_since.setdefault(key, now_ms)
+        return now_ms - started >= ttt_ms
+
+    def _clear(self, key: tuple[str, CellId]) -> None:
+        self._entry_since.pop(key, None)
+
+    def step(
+        self, now_ms: int, measured: dict[CellId, FilteredMeasurement]
+    ) -> list[ActiveSetUpdate]:
+        """One evaluation round; returns the executed updates."""
+        if not self._active:
+            raise RuntimeError("call start() before step()")
+        config = self.config
+        updates: list[ActiveSetUpdate] = []
+        active_measured = {
+            cid: fm for cid, fm in measured.items() if cid in self._active
+        }
+        if not active_measured:
+            # Every active cell vanished from measurement: keep state,
+            # nothing can be evaluated this round.
+            return updates
+        best_value = max(fm.rsrp_dbm for fm in active_measured.values())
+        monitored = {
+            cid: fm
+            for cid, fm in measured.items()
+            if cid not in self._active and fm.cell.rat is RAT.UMTS
+        }
+        # -- 1b: drop active cells that fell out of range ------------------
+        for cid, fm in sorted(active_measured.items()):
+            if len(self._active) <= 1:
+                break
+            threshold = best_value - (config.e1b_reporting_range + config.e1b_hysteresis / 2.0)
+            key = ("1b", cid)
+            if fm.rsrp_dbm <= threshold:
+                if self._persist(now_ms, key, config.e1b_time_to_trigger):
+                    removed = self._active.pop(cid)
+                    self._clear(key)
+                    updates.append(ActiveSetUpdate(now_ms, "remove", removed))
+            else:
+                self._clear(key)
+        # -- 1a: add monitored cells inside the reporting range ------------
+        for cid, fm in sorted(monitored.items(), key=lambda kv: -kv[1].rsrp_dbm):
+            threshold = best_value - (config.e1a_reporting_range - config.e1a_hysteresis / 2.0)
+            key = ("1a", cid)
+            if fm.rsrp_dbm >= threshold:
+                if len(self._active) < self.max_size:
+                    if self._persist(now_ms, key, config.e1a_time_to_trigger):
+                        self._active[cid] = fm.cell
+                        self._clear(key)
+                        updates.append(ActiveSetUpdate(now_ms, "add", fm.cell))
+            else:
+                self._clear(key)
+        # -- 1c: replace the worst active cell when the set is full --------
+        if len(self._active) >= self.max_size:
+            worst_cid, worst_fm = min(
+                (
+                    (cid, fm)
+                    for cid, fm in active_measured.items()
+                    if cid in self._active
+                ),
+                key=lambda kv: kv[1].rsrp_dbm,
+                default=(None, None),
+            )
+            if worst_cid is not None:
+                for cid, fm in sorted(monitored.items(), key=lambda kv: -kv[1].rsrp_dbm):
+                    if cid in self._active:
+                        continue
+                    key = ("1c", cid)
+                    if fm.rsrp_dbm >= worst_fm.rsrp_dbm + config.e1c_hysteresis / 2.0:
+                        if self._persist(now_ms, key, config.e1c_time_to_trigger):
+                            removed = self._active.pop(worst_cid)
+                            self._active[cid] = fm.cell
+                            self._clear(key)
+                            updates.append(
+                                ActiveSetUpdate(now_ms, "replace", fm.cell, removed=removed)
+                            )
+                            break
+                    else:
+                        self._clear(key)
+        # Forget timers of cells that disappeared from measurement.
+        measured_ids = set(measured)
+        for key in [k for k in self._entry_since if k[1] not in measured_ids]:
+            del self._entry_since[key]
+        return updates

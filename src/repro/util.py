@@ -1,0 +1,15 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_hash(value: str) -> int:
+    """Process-stable 32-bit hash of a string.
+
+    Python's built-in ``hash`` for strings is salted per interpreter
+    process; anything feeding RNG seeds must use this instead, or
+    dataset builds would differ run to run.
+    """
+    return zlib.crc32(value.encode("utf-8"))

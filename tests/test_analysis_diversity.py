@@ -1,0 +1,148 @@
+"""Tests for the diversity metrics (paper Eq. 4/5)."""
+
+import pytest
+
+from repro.core.analysis.diversity import (
+    all_parameter_diversity,
+    coefficient_of_variation,
+    dependence,
+    diversity_of_values,
+    parameter_diversity,
+    richness,
+    simpson_index,
+    value_distribution,
+)
+from repro.datasets.records import ConfigSample
+from repro.datasets.store import ConfigSampleStore
+
+
+def test_simpson_single_value_is_zero():
+    assert simpson_index([4.0] * 100) == 0.0
+
+
+def test_simpson_two_equal_values():
+    assert simpson_index([1, 2]) == pytest.approx(0.5)
+
+
+def test_simpson_uniform_many_values():
+    assert simpson_index(list(range(10))) == pytest.approx(0.9)
+
+
+def test_simpson_skew_reduces_diversity():
+    balanced = simpson_index([1] * 50 + [2] * 50)
+    skewed = simpson_index([1] * 95 + [2] * 5)
+    assert skewed < balanced
+
+
+def test_simpson_empty():
+    assert simpson_index([]) == 0.0
+
+
+def test_cv_basics():
+    assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+    assert coefficient_of_variation([1.0]) == 0.0
+    assert coefficient_of_variation([]) == 0.0
+    assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+
+def test_cv_zero_mean_defined():
+    assert coefficient_of_variation([-1.0, 1.0]) == 0.0
+
+
+def test_cv_ignores_non_numeric():
+    assert coefficient_of_variation([1.0, 3.0, "x", [1, 2]]) == pytest.approx(0.5)
+
+
+def test_richness():
+    assert richness([1, 1, 2, 3]) == 3
+    assert richness([]) == 0
+
+
+def _store(values, parameter="q_hyst", per_cell=True):
+    samples = []
+    for i, value in enumerate(values):
+        samples.append(ConfigSample(
+            carrier="A", gci=i if per_cell else 0, rat="LTE", channel=850,
+            city="X", parameter=parameter, value=value,
+        ))
+    return ConfigSampleStore(samples)
+
+
+def test_parameter_diversity_over_store():
+    store = _store([4.0, 4.0, 2.0, 6.0])
+    measures = parameter_diversity(store, "q_hyst")
+    assert measures.richness == 3
+    assert measures.n_samples == 4
+    assert 0 < measures.simpson < 1
+
+
+def test_dedup_convention():
+    """Repeated identical samples from one cell count once."""
+    samples = [
+        ConfigSample(carrier="A", gci=1, rat="LTE", channel=850, city="X",
+                     parameter="q_hyst", value=4.0, observed_day=float(d))
+        for d in range(10)
+    ] + [
+        ConfigSample(carrier="A", gci=2, rat="LTE", channel=850, city="X",
+                     parameter="q_hyst", value=2.0)
+    ]
+    store = ConfigSampleStore(samples)
+    deduped = parameter_diversity(store, "q_hyst")
+    raw = parameter_diversity(store, "q_hyst", deduplicate_cells=False)
+    assert deduped.n_samples == 2
+    assert raw.n_samples == 11
+    assert deduped.simpson > raw.simpson  # the paper's tipping effect
+
+
+def test_value_distribution_sorted_and_normalized():
+    store = _store([4.0, 4.0, 2.0, 6.0])
+    distribution = value_distribution(store, "q_hyst")
+    values = [v for v, _ in distribution]
+    shares = [s for _, s in distribution]
+    assert values == [2.0, 4.0, 6.0]
+    assert sum(shares) == pytest.approx(1.0)
+    assert dict(distribution)[4.0] == pytest.approx(0.5)
+
+
+def test_all_parameter_diversity_sorted_by_simpson():
+    samples = (
+        list(_store([4.0] * 5, parameter="q_hyst"))
+        + list(_store([1.0, 2.0, 3.0, 4.0, 5.0], parameter="a3_offset"))
+    )
+    store = ConfigSampleStore(samples)
+    measures = all_parameter_diversity(store)
+    assert [m.parameter for m in measures] == ["q_hyst", "a3_offset"]
+
+
+def test_dependence_zero_when_factor_uninformative():
+    """Identical conditional distributions give zeta ~ 0."""
+    samples = []
+    for channel in (850, 1975):
+        for gci in range(20):
+            samples.append(ConfigSample(
+                carrier="A", gci=gci + channel, rat="LTE", channel=channel,
+                city="X", parameter="p", value=float(gci % 2),
+            ))
+    store = ConfigSampleStore(samples)
+    zeta = dependence(store, "p", factor=lambda s: s.channel)
+    assert zeta < 0.02
+
+
+def test_dependence_high_when_factor_determines_value():
+    """Per-channel single values but overall diversity: high zeta."""
+    samples = []
+    for channel, value in ((850, 1.0), (1975, 2.0), (5110, 3.0)):
+        for gci in range(20):
+            samples.append(ConfigSample(
+                carrier="A", gci=gci + channel, rat="LTE", channel=channel,
+                city="X", parameter="p", value=value,
+            ))
+    store = ConfigSampleStore(samples)
+    zeta = dependence(store, "p", factor=lambda s: s.channel)
+    assert zeta > 0.5
+
+
+def test_diversity_of_values_dataclass():
+    measures = diversity_of_values("x", [1.0, 2.0, 2.0])
+    assert measures.parameter == "x"
+    assert measures.richness == 2

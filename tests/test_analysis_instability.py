@@ -1,0 +1,95 @@
+"""Tests for the handoff-instability analyzer."""
+
+import pytest
+
+from repro.core.analysis.instability import (
+    correlate_with_conflicts,
+    detect_instability,
+)
+from repro.datasets.records import HandoffInstance
+
+
+def _instance(t, source, target):
+    return HandoffInstance(
+        kind="active", carrier="A", time_ms=t, source_gci=source,
+        target_gci=target, source_channel=850, target_channel=850,
+        intra_freq=True, decisive_event="A3",
+    )
+
+
+def _chain(*gcis, start=0, step=3000):
+    return [
+        _instance(start + i * step, a, b)
+        for i, (a, b) in enumerate(zip(gcis, gcis[1:]))
+    ]
+
+
+def test_empty_trace():
+    report = detect_instability([])
+    assert report.n_handoffs == 0
+    assert report.ping_pong_rate == 0.0
+    assert report.loops == []
+
+
+def test_clean_progression_no_instability():
+    report = detect_instability(_chain(1, 2, 3, 4, 5))
+    assert report.n_ping_pongs == 0
+    assert report.loops == []
+
+
+def test_ping_pong_detection():
+    report = detect_instability(_chain(1, 2, 1, 3))
+    assert report.n_ping_pongs == 1
+    assert report.ping_pong_rate == pytest.approx(0.5)
+
+
+def test_slow_return_is_not_ping_pong():
+    instances = [_instance(0, 1, 2), _instance(60_000, 2, 1)]
+    report = detect_instability(instances)
+    assert report.n_ping_pongs == 0
+
+
+def test_two_cell_loop_detection():
+    report = detect_instability(_chain(1, 2, 1, 2, 1, 2, 1))
+    assert report.loops
+    loop = report.loops[0]
+    assert set(loop.cells) == {1, 2}
+    assert loop.traversals >= 2
+    assert report.looping_cells == {1, 2}
+
+
+def test_three_cell_loop_detection():
+    report = detect_instability(_chain(1, 2, 3, 1, 2, 3, 1, 2, 3))
+    assert any(set(loop.cells) == {1, 2, 3} for loop in report.loops)
+
+
+def test_loop_period():
+    report = detect_instability(_chain(1, 2, 1, 2, 1, 2, 1, step=4000))
+    loop = report.loops[0]
+    assert loop.period_ms > 0
+
+
+def test_pair_counts():
+    report = detect_instability(_chain(1, 2, 1, 2, 1))
+    assert report.pair_counts[(1, 2)] == 2
+    assert report.pair_counts[(2, 1)] == 2
+
+
+def test_correlation_with_conflicts():
+    report = detect_instability(_chain(1, 2, 1, 2, 1, 2, 1))
+    assert correlate_with_conflicts(report, {1, 2, 99}) == 1.0
+    assert correlate_with_conflicts(report, {1}) == 0.5
+    assert correlate_with_conflicts(report, set()) == 0.0
+
+
+def test_correlation_without_loops():
+    report = detect_instability(_chain(1, 2, 3))
+    assert correlate_with_conflicts(report, {1, 2}) == 0.0
+
+
+def test_instability_on_simulated_trace(tiny_d1):
+    """The analyzer runs cleanly on real extracted traces."""
+    active = list(tiny_d1.store.active().for_carrier("A"))
+    report = detect_instability(active)
+    assert report.n_handoffs == len(active)
+    assert 0.0 <= report.ping_pong_rate <= 1.0

@@ -1,0 +1,239 @@
+"""Tests for events/thresholds/temporal/spatial/frequency/rats analyses."""
+
+import pytest
+
+from repro.core.analysis.common import BoxStats, cdf_points, fraction_above
+from repro.core.analysis.events import dominant_events, event_mix
+from repro.core.analysis.frequency import (
+    frequency_dependence,
+    multi_valued_cell_fraction,
+    priority_breakdown,
+)
+from repro.core.analysis.rats import rat_breakdown, rat_diversity_boxes
+from repro.core.analysis.spatial import city_distributions, spatial_diversity
+from repro.core.analysis.temporal import (
+    multi_sample_cell_fraction,
+    samples_per_cell_histogram,
+    temporal_dynamics,
+)
+from repro.core.analysis.thresholds import threshold_gaps
+from repro.datasets.records import ConfigSample, HandoffInstance
+from repro.datasets.store import ConfigSampleStore, HandoffInstanceStore
+
+
+# -- common -------------------------------------------------------------------
+
+def test_cdf_points_monotone():
+    points = cdf_points([3.0, 1.0, 2.0, 5.0])
+    values = [v for v, _ in points]
+    fractions = [f for _, f in points]
+    assert values == sorted(values)
+    assert fractions[0] == 0.0 and fractions[-1] == 1.0
+
+
+def test_cdf_points_empty():
+    assert cdf_points([]) == []
+
+
+def test_fraction_above():
+    assert fraction_above([1.0, -1.0, 2.0], 0.0) == pytest.approx(2 / 3)
+    assert fraction_above([], 0.0) == 0.0
+
+
+def test_box_stats():
+    box = BoxStats.from_values([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert box.median == 3.0
+    assert box.minimum == 1.0 and box.maximum == 5.0
+    assert box.n == 5
+    empty = BoxStats.from_values([])
+    assert empty.n == 0
+
+
+# -- events -------------------------------------------------------------------
+
+def _active_instance(event, carrier="A", config=None, metric="rsrp"):
+    return HandoffInstance(
+        kind="active", carrier=carrier, time_ms=0, source_gci=1, target_gci=2,
+        source_channel=850, target_channel=850, intra_freq=True,
+        decisive_event=event, decisive_metric=metric,
+        decisive_config=config or {},
+    )
+
+
+def test_event_mix_shares():
+    store = HandoffInstanceStore(
+        [_active_instance("A3", config={"offset": 3.0, "hysteresis": 1.0})] * 3
+        + [_active_instance("A5", config={"threshold1": -44.0, "threshold2": -114.0})]
+    )
+    report = event_mix(store, "A")
+    assert report.share("A3") == 0.75
+    assert report.share("A5") == 0.25
+    assert report.share("A1") == 0.0
+    assert report.a3_offset_range == (3.0, 3.0)
+    assert report.a5_threshold_ranges["rsrp"] == ((-44.0, -44.0), (-114.0, -114.0))
+    assert dominant_events(report) == ["A3", "A5"]
+
+
+def test_event_mix_empty_carrier():
+    report = event_mix(HandoffInstanceStore(), "A")
+    assert report.n_instances == 0
+    assert report.shares == {}
+
+
+# -- thresholds ---------------------------------------------------------------
+
+def _threshold_samples(gci, intra, nonintra, low, carrier="A"):
+    base = dict(carrier=carrier, gci=gci, rat="LTE", channel=850, city="X")
+    return [
+        ConfigSample(parameter="s_intra_search_p", value=intra, **base),
+        ConfigSample(parameter="s_non_intra_search_p", value=nonintra, **base),
+        ConfigSample(parameter="thresh_serving_low_p", value=low, **base),
+    ]
+
+
+def test_threshold_gaps():
+    samples = (
+        _threshold_samples(1, 62.0, 28.0, 6.0)
+        + _threshold_samples(2, 62.0, 62.0, 4.0)   # tie
+        + _threshold_samples(3, 46.0, 8.0, 10.0)
+    )
+    report = threshold_gaps(ConfigSampleStore(samples))
+    assert len(report.intra_minus_nonintra) == 3
+    assert report.tie_fraction == pytest.approx(1 / 3)
+    assert report.violation_fraction == 0.0
+    assert report.premature_fraction(30.0) == pytest.approx(1.0)
+    assert report.late_nonintra_fraction == pytest.approx(1 / 3)
+
+
+def test_threshold_gaps_carrier_filter():
+    samples = _threshold_samples(1, 62.0, 28.0, 6.0, carrier="T")
+    report = threshold_gaps(ConfigSampleStore(samples), carriers=("A",))
+    assert report.intra_minus_nonintra == []
+
+
+# -- temporal -----------------------------------------------------------------
+
+def _priority_sample(gci, value, day, round_index=0, parameter="cell_reselection_priority"):
+    return ConfigSample(
+        carrier="A", gci=gci, rat="LTE", channel=850, city="X",
+        parameter=parameter, value=value, observed_day=day,
+        round_index=round_index,
+    )
+
+
+def test_samples_per_cell_histogram():
+    store = ConfigSampleStore([
+        _priority_sample(1, 3, 0.0), _priority_sample(1, 3, 10.0),
+        _priority_sample(2, 3, 0.0),
+    ])
+    histogram = samples_per_cell_histogram(store)
+    assert histogram[1] == 0.5 and histogram[2] == 0.5
+    assert multi_sample_cell_fraction(store) == 0.5
+
+
+def test_temporal_dynamics_detects_idle_change():
+    store = ConfigSampleStore([
+        _priority_sample(1, 3, 0.0, 0),
+        _priority_sample(1, 4, 100.0, 1),   # changed after 100 days
+        _priority_sample(2, 3, 0.0, 0),
+        _priority_sample(2, 3, 100.0, 1),   # unchanged
+    ])
+    dynamics = temporal_dynamics(store)
+    bucket = 180.0
+    assert dynamics.idle_changed[bucket] == pytest.approx(0.5)
+
+
+def test_temporal_dynamics_active_class():
+    store = ConfigSampleStore([
+        _priority_sample(1, 3.0, 0.0, 0, parameter="a3_offset"),
+        _priority_sample(1, 5.0, 0.5, 1, parameter="a3_offset"),
+    ])
+    dynamics = temporal_dynamics(store)
+    assert dynamics.active_changed[1.0] == pytest.approx(1.0)
+    assert all(v == 0.0 for v in dynamics.idle_changed.values())
+
+
+# -- spatial ------------------------------------------------------------------
+
+def test_city_distributions():
+    store = ConfigSampleStore([
+        _priority_sample(1, 3, 0.0),
+        _priority_sample(2, 4, 0.0),
+    ])
+    table = city_distributions(store, "cell_reselection_priority", ("A",), ("X", "Y"))
+    assert table["A"]["X"][3] == 0.5
+    assert table["A"]["Y"] == {}
+
+
+def test_spatial_diversity_empty_is_safe(tiny_d2):
+    report = spatial_diversity(
+        tiny_d2.store, tiny_d2.env, "A", "NoSuchCity"
+    )
+    assert report.boxes[0.5].n == 0
+
+
+def test_spatial_diversity_runs_on_dense_city(tiny_d2):
+    report = spatial_diversity(
+        tiny_d2.store, tiny_d2.env, "A", "Indianapolis", radii_km=(0.5, 2.0)
+    )
+    assert set(report.boxes) == {0.5, 2.0}
+
+
+# -- frequency ----------------------------------------------------------------
+
+def _channel_priority(gci, channel, value):
+    return ConfigSample(
+        carrier="A", gci=gci, rat="LTE", channel=channel, city="X",
+        parameter="cell_reselection_priority", value=value,
+    )
+
+
+def test_priority_breakdown_serving():
+    store = ConfigSampleStore([
+        _channel_priority(1, 850, 3), _channel_priority(2, 850, 3),
+        _channel_priority(3, 9820, 5), _channel_priority(4, 9820, 4),
+    ])
+    report = priority_breakdown(store, "A")
+    assert report.serving[850] == {3: 1.0}
+    assert report.multi_valued_channels("serving") == [9820]
+    assert report.dominant_priority(850) == 3
+
+
+def test_multi_valued_cell_fraction():
+    store = ConfigSampleStore([
+        _channel_priority(1, 850, 3), _channel_priority(2, 850, 3),
+        _channel_priority(3, 9820, 5), _channel_priority(4, 9820, 4),
+    ])
+    # One of four cells carries a non-dominant value for its channel.
+    assert multi_valued_cell_fraction(store, "A") == pytest.approx(0.25)
+
+
+def test_frequency_dependence_per_parameter():
+    samples = [
+        _channel_priority(1, 850, 3), _channel_priority(2, 850, 3),
+        _channel_priority(3, 9820, 5), _channel_priority(4, 9820, 5),
+    ]
+    store = ConfigSampleStore(samples)
+    zetas = frequency_dependence(store, "A")
+    assert zetas["cell_reselection_priority"] > 0.3
+
+
+# -- rats ---------------------------------------------------------------------
+
+def test_rat_breakdown_counts():
+    store = ConfigSampleStore([
+        _priority_sample(1, 3, 0.0),
+        ConfigSample(carrier="A", gci=2, rat="UMTS", channel=4385, city="X",
+                     parameter="q_rxlevmin", value=-115.0),
+    ])
+    report = rat_breakdown(store)
+    assert report.parameter_counts["LTE"] == 66
+    assert report.parameter_counts["UMTS"] == 64
+    assert report.cell_shares["LTE"] == 0.5
+    assert report.total_cells == 2
+
+
+def test_rat_diversity_boxes(tiny_d2):
+    boxes = rat_diversity_boxes(tiny_d2.store)
+    assert "A-LTE" in boxes
+    assert boxes["A-LTE"].n > 0

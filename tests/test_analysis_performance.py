@@ -1,0 +1,133 @@
+"""Tests for the performance analyses (Figs. 6-10) on synthetic instances."""
+
+import pytest
+
+from repro.core.analysis.performance import (
+    ConfigGroup,
+    a5_signed_split,
+    dominant_config_groups,
+    idle_rsrp_change,
+    radio_impact_pairs,
+    rsrp_change_by_event,
+    throughput_by_config,
+)
+from repro.datasets.records import HandoffInstance
+from repro.datasets.store import HandoffInstanceStore
+
+
+def _active(event="A3", before=-108.0, after=-100.0, config=None, metric="rsrp",
+            throughput=2e6, carrier="A"):
+    return HandoffInstance(
+        kind="active", carrier=carrier, time_ms=0, source_gci=1, target_gci=2,
+        source_channel=850, target_channel=850, intra_freq=True,
+        decisive_event=event, decisive_metric=metric,
+        decisive_config=config or {"offset": 3.0, "hysteresis": 1.0},
+        rsrp_before=before, rsrp_after=after,
+        min_throughput_before_bps=throughput,
+    )
+
+
+def _idle(intra=True, priority_class="equal", before=-110.0, after=-104.0):
+    return HandoffInstance(
+        kind="idle", carrier="A", time_ms=0, source_gci=1, target_gci=2,
+        source_channel=850, target_channel=850 if intra else 9820,
+        intra_freq=intra, priority_class=priority_class,
+        rsrp_before=before, rsrp_after=after,
+    )
+
+
+def test_rsrp_change_report():
+    store = HandoffInstanceStore([
+        _active(after=-100.0), _active(after=-110.0), _active(event="A5", after=-112.0),
+    ])
+    report = rsrp_change_by_event(store, "A")
+    assert report.improved["A3"] == pytest.approx(0.5)
+    assert report.improved["A5"] == 0.0
+    assert len(report.scatter["A3"]) == 2
+    assert report.delta_cdf["A3"]
+
+
+def test_improved_with_margin():
+    store = HandoffInstanceStore([_active(after=-110.0)])  # delta -2
+    report = rsrp_change_by_event(store, "A")
+    assert report.improved["A3"] == 0.0
+    assert report.improved_with_margin["A3"] == 1.0
+
+
+def test_a5_signed_split():
+    permissive = _active(
+        event="A5", after=-112.0,
+        config={"threshold1": -44.0, "threshold2": -114.0, "hysteresis": 1.0},
+    )
+    strict = _active(
+        event="A5", after=-100.0,
+        config={"threshold1": -118.0, "threshold2": -110.0, "hysteresis": 1.0},
+    )
+    store = HandoffInstanceStore([permissive, strict])
+    split = a5_signed_split(store, "A")
+    assert len(split["A5"]) == 2
+    assert len(split["A5(-)"]) == 1  # threshold2 < threshold1
+    assert len(split["A5(+)"]) == 1
+
+
+def test_throughput_by_config_grouping():
+    store = HandoffInstanceStore([
+        _active(config={"offset": 3.0, "hysteresis": 1.0}, throughput=5e6),
+        _active(config={"offset": 12.0, "hysteresis": 1.0}, throughput=0.4e6),
+    ])
+    groups = [
+        ConfigGroup(label="A3(3dB)", event="A3", key="offset", value=3.0),
+        ConfigGroup(label="A3(12dB)", event="A3", key="offset", value=12.0),
+    ]
+    boxes = throughput_by_config(store, "A", groups)
+    assert boxes["A3(3dB)"].median == 5e6
+    assert boxes["A3(12dB)"].median == 0.4e6
+
+
+def test_dominant_config_groups():
+    store = HandoffInstanceStore([
+        _active(config={"offset": 3.0, "hysteresis": 1.0}),
+        _active(config={"offset": 3.0, "hysteresis": 1.0}),
+        _active(event="A5", config={"threshold1": -44.0, "threshold2": -114.0}),
+    ])
+    groups = dominant_config_groups(store, "A", top=1)
+    labels = [g.label for g in groups]
+    assert "A3(3dB)" in labels
+    assert any(label.startswith("A5(") for label in labels)
+    assert "P" in labels
+
+
+def test_radio_impact_pairs_monotone_inputs():
+    store = HandoffInstanceStore([
+        _active(config={"offset": 3.0, "hysteresis": 1.0}, before=-105.0, after=-101.0),
+        _active(config={"offset": 12.0, "hysteresis": 1.0}, before=-115.0, after=-101.0),
+        _active(event="A5", before=-112.0, after=-100.0,
+                config={"threshold1": -110.0, "threshold2": -104.0}),
+    ])
+    pairs = radio_impact_pairs(store, "A")
+    assert set(pairs["a3_offset_vs_delta"]) == {3.0, 12.0}
+    assert pairs["a3_offset_vs_delta"][12.0].median == pytest.approx(14.0)
+    assert pairs["a5_serving_vs_old"][-110.0].median == -112.0
+    assert pairs["a5_candidate_vs_new"][-104.0].median == -100.0
+
+
+def test_idle_rsrp_change_classes():
+    store = HandoffInstanceStore([
+        _idle(intra=True),
+        _idle(intra=False, priority_class="higher", after=-115.0),
+        _idle(intra=False, priority_class="lower"),
+        _idle(intra=False, priority_class="equal"),
+    ])
+    classes = idle_rsrp_change(store)
+    assert classes["intra"]["n"] == 1
+    assert classes["non-intra(H)"]["improved"] == 0.0
+    assert classes["non-intra(L)"]["improved"] == 1.0
+    assert classes["non-intra(E)"]["n"] == 1
+
+
+def test_idle_rsrp_change_carrier_filter():
+    store = HandoffInstanceStore([_idle()])
+    pooled = idle_rsrp_change(store)
+    filtered = idle_rsrp_change(store, carrier="T")
+    assert pooled["intra"]["n"] == 1
+    assert filtered["intra"]["n"] == 0

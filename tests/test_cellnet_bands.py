@@ -1,0 +1,81 @@
+"""Tests for the EARFCN/band catalog."""
+
+import pytest
+
+from repro.cellnet.bands import (
+    BAND_CATALOG,
+    channels_in_band,
+    earfcn_to_band,
+    earfcn_to_frequency_mhz,
+)
+from repro.cellnet.rat import RAT
+
+
+def test_band_30_contains_channel_9820():
+    """The paper's AT&T WCS channel (Fig. 18 / Section 5.4.1)."""
+    band = earfcn_to_band(9820)
+    assert band.number == 30
+    assert "WCS" in band.name
+
+
+def test_channel_9820_frequency():
+    # TS 36.101: band 30 DL low = 2350 MHz at N_offs 9770.
+    assert earfcn_to_frequency_mhz(9820) == pytest.approx(2355.0)
+
+
+def test_band_12_and_17_are_700mhz():
+    for channel in (5110, 5145):
+        assert earfcn_to_band(channel).number == 12
+    assert earfcn_to_band(5780).number == 17
+    assert earfcn_to_frequency_mhz(5780) < 800.0
+
+
+def test_unknown_channel_raises():
+    with pytest.raises(ValueError, match="no LTE band"):
+        earfcn_to_band(999_999)
+
+
+def test_band_ranges_do_not_overlap_within_rat():
+    for rat, bands in BAND_CATALOG.items():
+        spans = sorted((b.n_offset_dl, b.n_last_dl) for b in bands)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 < s2, f"{rat} bands overlap: {(s1, e1)} vs {(s2, e2)}"
+
+
+def test_frequency_monotonic_within_band():
+    band = earfcn_to_band(1975)  # AWS-1
+    low = band.channel_to_frequency_mhz(band.n_offset_dl)
+    high = band.channel_to_frequency_mhz(band.n_last_dl)
+    assert high == pytest.approx(low + 0.1 * (band.n_last_dl - band.n_offset_dl))
+
+
+def test_channel_outside_band_raises():
+    band = earfcn_to_band(850)
+    with pytest.raises(ValueError, match="outside band"):
+        band.channel_to_frequency_mhz(band.n_last_dl + 1)
+
+
+def test_channels_in_band():
+    channels = channels_in_band(30)
+    assert 9820 in channels
+    assert channels.start == 9770
+
+
+def test_channels_in_unknown_band_raises():
+    with pytest.raises(ValueError, match="unknown LTE band"):
+        channels_in_band(99)
+
+
+def test_umts_and_gsm_catalogs_resolve():
+    assert earfcn_to_band(4385, RAT.UMTS).number == 5
+    assert earfcn_to_band(128, RAT.GSM).number == 5
+
+
+def test_all_carrier_channels_resolve():
+    """Every channel a carrier holds must be in the catalog."""
+    from repro.cellnet.carrier import CARRIERS
+
+    for carrier in CARRIERS.values():
+        for rat in RAT:
+            for channel in carrier.channels_for(rat):
+                earfcn_to_band(channel, rat)  # must not raise

@@ -1,0 +1,58 @@
+"""Tests for the carrier catalog (Table 3)."""
+
+from repro.cellnet.carrier import CARRIERS, carrier_by_acronym, study_carriers, us_carriers
+from repro.cellnet.rat import RAT
+
+
+def test_thirty_carriers():
+    """Dataset D2 spans 30 carriers (paper Section 5)."""
+    assert len(CARRIERS) == 30
+
+
+def test_fifteen_countries():
+    assert len({c.country for c in CARRIERS.values()}) == 15
+
+
+def test_paper_acronyms_present():
+    for acronym in ("A", "T", "V", "S", "CM", "CU", "CT", "KT", "SK",
+                    "ST", "SI", "MO", "TH", "CH", "CW", "TC", "NC"):
+        assert acronym in CARRIERS
+
+
+def test_cdma_family_carriers():
+    """EVDO/CDMA1x only in Verizon, Sprint and China Telecom (Table 4)."""
+    cdma = {a for a, c in CARRIERS.items() if RAT.EVDO in c.rats}
+    assert cdma == {"V", "S", "CT"}
+
+
+def test_att_band_holdings():
+    att = carrier_by_acronym("A")
+    for channel in (850, 1975, 2000, 5110, 5780, 9820):
+        assert channel in att.lte_channels
+
+
+def test_all_carriers_have_lte():
+    for carrier in CARRIERS.values():
+        assert RAT.LTE in carrier.rats
+        assert carrier.lte_channels
+
+
+def test_us_carriers_order():
+    assert [c.acronym for c in us_carriers()] == ["A", "T", "V", "S"]
+
+
+def test_study_carriers_are_the_papers_nine():
+    assert [c.acronym for c in study_carriers()] == [
+        "A", "T", "S", "V", "CM", "SK", "MO", "CH", "CW"
+    ]
+
+
+def test_channels_for_dispatch():
+    verizon = carrier_by_acronym("V")
+    assert verizon.channels_for(RAT.CDMA1X) == verizon.cdma_channels
+    assert verizon.channels_for(RAT.LTE) == verizon.lte_channels
+
+
+def test_is_us():
+    assert carrier_by_acronym("A").is_us
+    assert not carrier_by_acronym("CM").is_us

@@ -1,0 +1,120 @@
+"""Tests for the radio propagation model."""
+
+import numpy as np
+import pytest
+
+from repro.cellnet.cell import Cell, CellId
+from repro.cellnet.geo import Point
+from repro.cellnet.radio import RadioModel, ShadowingField
+from repro.cellnet.rat import RAT
+
+
+def _cell(gci=1, channel=850, x=0.0, y=0.0, tx=30.0):
+    return Cell(
+        cell_id=CellId("A", gci), rat=RAT.LTE, channel=channel, pci=1,
+        location=Point(x, y), tx_power_dbm=tx,
+    )
+
+
+@pytest.fixture
+def model():
+    return RadioModel(seed=3)
+
+
+def test_path_loss_increases_with_distance(model):
+    cell = _cell()
+    near = model.path_loss_db(cell, Point(100.0, 0.0))
+    far = model.path_loss_db(cell, Point(1000.0, 0.0))
+    assert far > near
+
+
+def test_path_loss_increases_with_frequency(model):
+    low_band = _cell(channel=5110)   # 700 MHz
+    high_band = _cell(channel=9820)  # 2300 MHz
+    p = Point(500.0, 0.0)
+    assert model.path_loss_db(high_band, p) > model.path_loss_db(low_band, p)
+
+
+def test_rsrp_clamped_to_reportable_range(model):
+    cell = _cell(tx=30.0)
+    very_far = Point(50_000.0, 0.0)
+    assert model.rsrp_dbm(cell, very_far) == -140.0
+
+
+def test_rsrp_deterministic(model):
+    cell = _cell()
+    p = Point(321.0, 123.0)
+    assert model.rsrp_dbm(cell, p) == model.rsrp_dbm(cell, p)
+
+
+def test_rsrp_many_matches_scalar(model):
+    cells = [_cell(gci=i, x=i * 400.0) for i in range(1, 6)]
+    p = Point(50.0, 80.0)
+    vector = model.rsrp_many(cells, p)
+    scalar = [model.rsrp_dbm(c, p) for c in cells]
+    assert np.allclose(vector, scalar)
+
+
+def test_shadowing_zero_sigma():
+    field = ShadowingField(seed=1, sigma_db=0.0)
+    assert field.sample_db(_cell(), Point(10, 10)) == 0.0
+
+
+def test_shadowing_statistics():
+    """Realized field should have roughly the configured variance."""
+    field = ShadowingField(seed=5, sigma_db=6.0, decorrelation_m=60.0)
+    cell = _cell()
+    rng = np.random.default_rng(0)
+    samples = [
+        field.sample_db(cell, Point(float(x), float(y)))
+        for x, y in rng.uniform(0, 50_000, size=(4000, 2))
+    ]
+    std = float(np.std(samples))
+    assert 4.0 < std < 8.0
+    assert abs(float(np.mean(samples))) < 1.0
+
+
+def test_shadowing_spatial_correlation():
+    """Nearby points see similar shadowing; distant points do not."""
+    field = ShadowingField(seed=5, sigma_db=6.0, decorrelation_m=100.0)
+    cell = _cell()
+    a = field.sample_db(cell, Point(1000.0, 1000.0))
+    near = field.sample_db(cell, Point(1005.0, 1000.0))
+    assert abs(a - near) < 1.5
+
+
+def test_shadowing_differs_between_cells():
+    field = ShadowingField(seed=5, sigma_db=6.0)
+    p = Point(100.0, 100.0)
+    assert field.sample_db(_cell(gci=1), p) != field.sample_db(_cell(gci=2), p)
+
+
+def test_measure_interference_lowers_sinr(model):
+    serving = _cell(gci=1, x=0.0)
+    interferer = _cell(gci=2, x=800.0)
+    p = Point(200.0, 0.0)
+    clean = model.measure(serving, p, co_channel=[])
+    dirty = model.measure(serving, p, co_channel=[interferer])
+    assert dirty.sinr_db < clean.sinr_db
+    assert dirty.rsrq_db <= clean.rsrq_db
+    assert dirty.rsrp_dbm == clean.rsrp_dbm
+
+
+def test_interference_free_rsrq_near_ceiling(model):
+    m = model.measure(_cell(), Point(100.0, 0.0), co_channel=[])
+    assert -11.5 < m.rsrq_db <= -3.0
+
+
+def test_measurement_metric_access(model):
+    m = model.measure(_cell(), Point(100.0, 0.0))
+    assert m.metric("rsrp") == m.rsrp_dbm
+    assert m.metric("rsrq") == m.rsrq_db
+    with pytest.raises(ValueError):
+        m.metric("sinr")
+
+
+def test_invalid_shadowing_params():
+    with pytest.raises(ValueError):
+        ShadowingField(seed=1, sigma_db=-1.0)
+    with pytest.raises(ValueError):
+        ShadowingField(seed=1, decorrelation_m=0.0)

@@ -1,0 +1,60 @@
+"""Tests for repro.cellnet.rat."""
+
+import pytest
+
+from repro.cellnet.rat import (
+    RAT,
+    RSRP_RANGE_DBM,
+    RSRQ_RANGE_DB,
+    clamp_rsrp,
+    clamp_rsrq,
+)
+
+
+def test_five_rats_exist():
+    assert {r.value for r in RAT} == {"LTE", "UMTS", "GSM", "EVDO", "CDMA1x"}
+
+
+@pytest.mark.parametrize(
+    "rat,generation",
+    [(RAT.GSM, 2), (RAT.CDMA1X, 2), (RAT.UMTS, 3), (RAT.EVDO, 3), (RAT.LTE, 4)],
+)
+def test_generations(rat, generation):
+    assert rat.generation == generation
+
+
+def test_families():
+    assert RAT.LTE.family == "3GPP"
+    assert RAT.UMTS.family == "3GPP"
+    assert RAT.GSM.family == "3GPP"
+    assert RAT.EVDO.family == "3GPP2"
+    assert RAT.CDMA1X.family == "3GPP2"
+
+
+def test_generation_ordering():
+    assert RAT.GSM < RAT.UMTS < RAT.LTE
+    assert not RAT.LTE < RAT.GSM
+
+
+def test_lte_metrics():
+    assert RAT.LTE.measurement_metrics == ("rsrp", "rsrq")
+
+
+def test_legacy_metrics_single():
+    for rat in (RAT.GSM, RAT.EVDO, RAT.CDMA1X):
+        assert len(rat.measurement_metrics) == 1
+
+
+def test_clamp_rsrp_within_range():
+    assert clamp_rsrp(-100.0) == -100.0
+
+
+def test_clamp_rsrp_floor_and_ceiling():
+    assert clamp_rsrp(-500.0) == RSRP_RANGE_DBM[0]
+    assert clamp_rsrp(0.0) == RSRP_RANGE_DBM[1]
+
+
+def test_clamp_rsrq_bounds():
+    assert clamp_rsrq(-30.0) == RSRQ_RANGE_DB[0]
+    assert clamp_rsrq(0.0) == RSRQ_RANGE_DB[1]
+    assert clamp_rsrq(-10.5) == -10.5

@@ -1,0 +1,86 @@
+"""Tests for the radio environment."""
+
+import numpy as np
+import pytest
+
+from repro.cellnet.rat import RAT
+
+
+def test_cells_near_filters(env, scenario):
+    origin = scenario.cities[0].origin
+    all_near = env.cells_near(origin, radius_m=2000.0)
+    att = env.cells_near(origin, carrier="A", radius_m=2000.0)
+    lte = env.cells_near(origin, carrier="A", rat=RAT.LTE, radius_m=2000.0)
+    assert len(all_near) >= len(att) >= len(lte) > 0
+    assert all(c.carrier == "A" for c in att)
+    assert all(c.rat is RAT.LTE for c in lte)
+
+
+def test_cells_near_radius_respected(env, scenario):
+    origin = scenario.cities[0].origin
+    for cell in env.cells_near(origin, radius_m=1500.0):
+        assert cell.location.distance_to(origin) <= 1500.0
+
+
+def test_measure_all_sorted_strongest_first(env, scenario):
+    origin = scenario.cities[0].origin
+    measurements = env.measure_all(origin, "A")
+    rsrps = [m.rsrp_dbm for m in measurements]
+    assert rsrps == sorted(rsrps, reverse=True)
+
+
+def test_strongest_cell(env, scenario):
+    origin = scenario.cities[0].origin
+    best = env.strongest_cell(origin, "A")
+    assert best is not None
+    measurements = env.measure_all(origin, "A")
+    assert best.cell_id == measurements[0].cell.cell_id
+
+
+def test_snapshot_matches_measure_all(env, scenario):
+    origin = scenario.cities[0].origin
+    snap = env.snapshot(origin, "A")
+    for cell in snap.cells[:10]:
+        direct = env.radio.rsrp_dbm(cell, origin)
+        assert snap.rsrp(cell) == pytest.approx(direct)
+
+
+def test_snapshot_metric_arrays_consistent(env, scenario):
+    origin = scenario.cities[0].origin
+    snap = env.snapshot(origin, "A")
+    rsrp, rsrq, sinr = snap.metric_arrays()
+    assert len(rsrp) == len(snap.cells)
+    for i, cell in enumerate(snap.cells[:8]):
+        m = snap.measure(cell)
+        assert m.rsrp_dbm == pytest.approx(float(rsrp[i]))
+        assert m.rsrq_db == pytest.approx(float(rsrq[i]), abs=1e-6)
+        assert m.sinr_db == pytest.approx(float(sinr[i]), abs=1e-6)
+
+
+def test_snapshot_cache_is_location_stable(env, scenario):
+    origin = scenario.cities[0].origin
+    a = env.snapshot(origin, "A")
+    b = env.snapshot(origin.offset(1.0, 0.0), "A")
+    # Same 200 m grid square: the same prepared cell list is reused.
+    assert [c.cell_id for c in a.cells] == [c.cell_id for c in b.cells]
+
+
+def test_snapshot_strongest_by_rat(env, scenario):
+    origin = scenario.cities[0].origin
+    snap = env.snapshot(origin, "A")
+    best_lte = snap.strongest(rat=RAT.LTE)
+    assert best_lte is not None and best_lte.rat is RAT.LTE
+
+
+def test_co_channel_interferers_same_channel_only(env, scenario):
+    origin = scenario.cities[0].origin
+    cell = env.cells_near(origin, carrier="A", rat=RAT.LTE)[0]
+    for interferer in env.co_channel_interferers(cell, origin):
+        assert interferer.channel == cell.channel
+        assert interferer.rat is cell.rat
+        assert interferer.cell_id != cell.cell_id
+
+
+def test_get_cell_roundtrip(env, scenario):
+    cell = next(iter(scenario.plan.registry))
+    assert env.get_cell(cell.cell_id) is cell

@@ -1,0 +1,30 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == registry.all_experiment_ids()
+
+
+def test_run_dataset_free_experiment(capsys):
+    assert main(["run", "tab02"]) == 0
+    out = capsys.readouterr().out
+    assert "tab02" in out
+    assert "q_hyst" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

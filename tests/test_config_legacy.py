@@ -1,0 +1,67 @@
+"""Tests for the legacy-RAT configuration structures."""
+
+import pytest
+
+from repro.cellnet.rat import RAT
+from repro.config.legacy import (
+    Cdma1xCellConfig,
+    EvdoCellConfig,
+    GsmCellConfig,
+    LEGACY_CONFIG_TYPES,
+    UmtsCellConfig,
+    validate_legacy,
+)
+from repro.config.parameters import parameter_count
+
+
+@pytest.mark.parametrize(
+    "config_type,rat",
+    [
+        (UmtsCellConfig, RAT.UMTS),
+        (GsmCellConfig, RAT.GSM),
+        (EvdoCellConfig, RAT.EVDO),
+        (Cdma1xCellConfig, RAT.CDMA1X),
+    ],
+)
+def test_sample_count_matches_registry(config_type, rat):
+    """Each legacy config yields exactly its RAT's parameter count."""
+    config = config_type()
+    assert len(config.parameter_samples()) == parameter_count(rat)
+
+
+@pytest.mark.parametrize(
+    "config_type,rat",
+    [
+        (UmtsCellConfig, RAT.UMTS),
+        (GsmCellConfig, RAT.GSM),
+        (EvdoCellConfig, RAT.EVDO),
+        (Cdma1xCellConfig, RAT.CDMA1X),
+    ],
+)
+def test_defaults_validate(config_type, rat):
+    assert validate_legacy(config_type(), rat) == []
+
+
+def test_validate_flags_bad_value():
+    config = UmtsCellConfig(t_reselection_s=99)
+    problems = validate_legacy(config, RAT.UMTS)
+    assert any("t_reselection_s" in p for p in problems)
+
+
+def test_legacy_config_types_mapping():
+    assert LEGACY_CONFIG_TYPES[RAT.UMTS] is UmtsCellConfig
+    assert LEGACY_CONFIG_TYPES[RAT.CDMA1X] is Cdma1xCellConfig
+    assert RAT.LTE not in LEGACY_CONFIG_TYPES
+
+
+def test_tuple_fields_flattened_to_lists():
+    config = UmtsCellConfig(inter_freq_carrier_list=(10562, 10587))
+    samples = dict(config.parameter_samples())
+    assert samples["inter_freq_carrier_list"] == [10562, 10587]
+
+
+def test_cdma1x_pilot_thresholds():
+    config = Cdma1xCellConfig()
+    samples = dict(config.parameter_samples())
+    assert set(samples) == {"t_add", "t_drop", "t_comp", "t_tdrop"}
+    assert samples["t_add"] > samples["t_drop"]

@@ -1,0 +1,92 @@
+"""Tests for the LTE per-cell configuration structures."""
+
+import pytest
+
+from repro.cellnet.rat import RAT
+from repro.config.events import EventConfig, EventType, PeriodicConfig
+from repro.config.lte import (
+    InterFreqLayerConfig,
+    InterRatUtraConfig,
+    LteCellConfig,
+    MeasurementConfig,
+    ServingCellConfig,
+)
+from repro.config.parameters import spec_by_name
+
+
+@pytest.fixture
+def full_config():
+    return LteCellConfig(
+        serving=ServingCellConfig(cell_reselection_priority=4),
+        inter_freq_layers=(
+            InterFreqLayerConfig(dl_carrier_freq=5110, cell_reselection_priority=2),
+            InterFreqLayerConfig(dl_carrier_freq=9820, cell_reselection_priority=5),
+        ),
+        utra_layers=(InterRatUtraConfig(carrier_freq=4385, cell_reselection_priority=1),),
+        measurement=MeasurementConfig(
+            events=(
+                EventConfig(event=EventType.A3, offset=3.0, hysteresis=1.0),
+                EventConfig(event=EventType.A2, threshold1=-114.0, hysteresis=1.0),
+            ),
+            periodic=PeriodicConfig(),
+        ),
+    )
+
+
+def test_all_samples_resolve_in_registry(full_config):
+    for name, value in full_config.parameter_samples():
+        spec = spec_by_name(RAT.LTE, name)
+        assert spec.domain.contains(value), (name, value)
+
+
+def test_validate_clean_config(full_config):
+    assert full_config.validate() == []
+
+
+def test_validate_flags_out_of_domain():
+    config = LteCellConfig(serving=ServingCellConfig(cell_reselection_priority=9))
+    problems = config.validate()
+    assert any("cell_reselection_priority" in p for p in problems)
+
+
+def test_idle_samples_exclude_measurement(full_config):
+    idle_names = {name for name, _ in full_config.idle_parameter_samples()}
+    assert "a3_offset" not in idle_names
+    assert "s_measure" not in idle_names
+    assert "cell_reselection_priority" in idle_names
+
+
+def test_full_samples_include_measurement(full_config):
+    names = {name for name, _ in full_config.parameter_samples()}
+    assert "a3_offset" in names
+    assert "s_measure" in names
+    assert "report_interval" in names  # periodic reporting
+
+
+def test_layer_samples_repeat_per_layer(full_config):
+    names = [name for name, _ in full_config.parameter_samples()]
+    assert names.count("dl_carrier_freq") == 2
+
+
+def test_priority_of_layer_serving_channel(full_config):
+    assert full_config.priority_of_layer(RAT.LTE, 850, serving_channel=850) == 4
+
+
+def test_priority_of_layer_inter_freq(full_config):
+    assert full_config.priority_of_layer(RAT.LTE, 9820, serving_channel=850) == 5
+    assert full_config.priority_of_layer(RAT.LTE, 5110, serving_channel=850) == 2
+
+
+def test_priority_of_layer_unknown_is_none(full_config):
+    assert full_config.priority_of_layer(RAT.LTE, 2000, serving_channel=850) is None
+    assert full_config.priority_of_layer(RAT.GSM, 128, serving_channel=850) is None
+
+
+def test_priority_of_layer_inter_rat(full_config):
+    assert full_config.priority_of_layer(RAT.UMTS, 4385, serving_channel=850) == 1
+    assert full_config.priority_of_layer(RAT.UMTS, 9999, serving_channel=850) is None
+
+
+def test_configs_are_immutable(full_config):
+    with pytest.raises(AttributeError):
+        full_config.serving.q_hyst = 2.0

@@ -1,0 +1,73 @@
+"""Tests for the MMLab collector."""
+
+import pytest
+
+from repro.core.collector import MMLabCollector
+from repro.rrc.diag import DiagReader
+from repro.rrc.messages import (
+    MeasurementReport,
+    MobilityControlInfo,
+    PhyServingMeas,
+    RrcConnectionReconfiguration,
+    Sib1,
+    Sib3,
+)
+from repro.config.lte import MeasurementConfig
+
+
+def test_type2_logs_everything():
+    collector = MMLabCollector(mode="type2")
+    collector(0, Sib1(), "down")
+    collector(1, PhyServingMeas(), "down")
+    collector(2, MeasurementReport(), "up")
+    records = DiagReader(collector.log_bytes()).records()
+    assert len(records) == 3
+    assert collector.messages_logged == 3
+
+
+def test_type1_keeps_configuration_only():
+    collector = MMLabCollector(mode="type1")
+    collector(0, Sib1(), "down")
+    collector(1, Sib3(), "down")
+    collector(2, PhyServingMeas(), "down")       # dropped
+    collector(3, MeasurementReport(), "up")      # dropped
+    records = DiagReader(collector.log_bytes()).records()
+    assert [type(r.message).__name__ for r in records] == ["Sib1", "Sib3"]
+    assert collector.messages_seen == 4
+    assert collector.messages_logged == 2
+
+
+def test_type1_keeps_meas_config_drops_handover_command():
+    collector = MMLabCollector(mode="type1")
+    collector(0, RrcConnectionReconfiguration(meas_config=MeasurementConfig()), "down")
+    collector(1, RrcConnectionReconfiguration(mobility=MobilityControlInfo()), "down")
+    records = DiagReader(collector.log_bytes()).records()
+    assert len(records) == 1
+    assert records[0].message.meas_config is not None
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        MMLabCollector(mode="type3")
+
+
+def test_save_to_file(tmp_path):
+    collector = MMLabCollector()
+    collector(0, Sib1(carrier="A", gci=1), "down")
+    path = tmp_path / "log.diag"
+    collector.save(path)
+    assert DiagReader.from_file(path).records()[0].message.gci == 1
+
+
+def test_collector_as_ue_listener(env, server, scenario):
+    from repro.ue.device import UserEquipment
+
+    ue = UserEquipment(env, server, "A", seed=3)
+    collector = MMLabCollector(mode="type2")
+    ue.add_listener(collector)
+    ue.initial_camp(scenario.cities[0].origin)
+    ue.connect(0)
+    records = DiagReader(collector.log_bytes()).records()
+    types = {type(r.message).__name__ for r in records}
+    assert "Sib1" in types
+    assert "RrcConnectionReconfiguration" in types

@@ -1,0 +1,109 @@
+"""Tests for handoff-instance extraction against simulator ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.handoffs import extract_handoff_instances
+from repro.simulate.runner import DriveSimulator
+from repro.simulate.traffic import NoTraffic, Speedtest
+
+
+@pytest.fixture(scope="module")
+def active_drive(scenario):
+    sim = DriveSimulator(scenario.env, scenario.server, "A", seed=23)
+    rng = np.random.default_rng(61)
+    trajectory = scenario.urban_trajectory(rng, duration_s=420.0)
+    return sim.run(trajectory, Speedtest())
+
+
+@pytest.fixture(scope="module")
+def idle_drive(scenario):
+    sim = DriveSimulator(scenario.env, scenario.server, "A", seed=23)
+    rng = np.random.default_rng(61)
+    trajectory = scenario.urban_trajectory(rng, duration_s=420.0)
+    return sim.run(trajectory, NoTraffic(), run_index=77)
+
+
+def test_extraction_matches_ground_truth_count(active_drive, scenario):
+    from repro.cellnet.rat import RAT
+
+    instances = extract_handoff_instances(active_drive.diag_log, "A")
+    truth = [
+        h for h in active_drive.handoffs
+        if scenario.env.get_cell(h.source).rat is RAT.LTE
+        and scenario.env.get_cell(h.target).rat is RAT.LTE
+    ]
+    assert len(instances) == len(truth)
+
+
+def test_extraction_matches_decisive_events(active_drive, scenario):
+    instances = extract_handoff_instances(active_drive.diag_log, "A")
+    truth = active_drive.handoffs
+    extracted = [(i.source_gci, i.target_gci, i.decisive_event) for i in instances]
+    expected = [
+        (h.source.gci, h.target.gci, h.decisive_event)
+        for h in truth
+        if h.kind == "active"
+    ]
+    assert extracted == expected
+
+
+def test_decisive_config_extracted(active_drive):
+    instances = extract_handoff_instances(active_drive.diag_log, "A")
+    a3 = [i for i in instances if i.decisive_event == "A3"]
+    assert a3
+    for instance in a3:
+        assert "offset" in instance.decisive_config
+        assert "hysteresis" in instance.decisive_config
+
+
+def test_latency_within_decision_band(active_drive):
+    instances = extract_handoff_instances(active_drive.diag_log, "A")
+    latencies = [i.report_to_handover_ms for i in instances
+                 if i.report_to_handover_ms is not None]
+    assert latencies
+    assert all(80 <= latency <= 230 for latency in latencies)
+
+
+def test_radio_before_after_filled(active_drive):
+    instances = extract_handoff_instances(active_drive.diag_log, "A")
+    filled = [i for i in instances if i.rsrp_before is not None]
+    assert len(filled) == len(instances)
+    with_after = [i for i in instances if i.rsrp_after is not None]
+    assert len(with_after) >= len(instances) - 1  # trace may end early
+
+
+def test_throughput_alignment(active_drive):
+    series = active_drive.throughput_series(bin_ms=1000)
+    instances = extract_handoff_instances(
+        active_drive.diag_log, "A", throughput_series=series
+    )
+    with_throughput = [i for i in instances if i.min_throughput_before_bps is not None]
+    assert with_throughput
+
+
+def test_idle_extraction(idle_drive, scenario):
+    from repro.cellnet.rat import RAT
+
+    instances = extract_handoff_instances(idle_drive.diag_log, "A")
+    assert instances
+    assert all(i.kind == "idle" for i in instances)
+    truth = [
+        h for h in idle_drive.handoffs
+        if scenario.env.get_cell(h.source).rat is RAT.LTE
+        and scenario.env.get_cell(h.target).rat is RAT.LTE
+    ]
+    assert len(instances) == len(truth)
+    extracted_classes = [i.priority_class for i in instances]
+    expected_classes = [h.priority_class for h in truth]
+    assert extracted_classes == expected_classes
+
+
+def test_lte_only_filter(idle_drive):
+    everything = extract_handoff_instances(idle_drive.diag_log, "A", lte_only=False)
+    lte_only = extract_handoff_instances(idle_drive.diag_log, "A", lte_only=True)
+    assert len(everything) >= len(lte_only)
+
+
+def test_empty_log():
+    assert extract_handoff_instances(b"", "A") == []

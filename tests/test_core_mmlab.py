@@ -1,0 +1,34 @@
+"""Tests for the MMLab facade."""
+
+import numpy as np
+
+from repro.core import MMLab
+from repro.core.collector import MMLabCollector
+from repro.simulate.runner import DriveSimulator
+from repro.simulate.traffic import Speedtest
+
+
+def test_attach_registers_collector(env, server, scenario):
+    from repro.ue.device import UserEquipment
+
+    mmlab = MMLab()
+    ue = UserEquipment(env, server, "A", seed=2)
+    collector = mmlab.attach(ue, mode="type1")
+    assert isinstance(collector, MMLabCollector)
+    ue.initial_camp(scenario.cities[0].origin)
+    assert collector.messages_logged > 0
+
+
+def test_facade_methods_agree_with_modules(scenario):
+    sim = DriveSimulator(scenario.env, scenario.server, "A", seed=37)
+    trajectory = scenario.urban_trajectory(np.random.default_rng(81), duration_s=180.0)
+    result = sim.run(trajectory, Speedtest())
+    mmlab = MMLab()
+    snapshots = mmlab.crawl(result.diag_log)
+    samples = mmlab.crawl_samples(result.diag_log, observed_day=1.0, round_index=2)
+    instances = mmlab.extract_handoffs(result.diag_log, "A")
+    assert snapshots
+    assert {s.gci for s in samples} == {s.gci for s in snapshots}
+    assert all(s.round_index == 2 for s in samples)
+    for instance in instances:
+        assert instance.carrier == "A"

@@ -1,0 +1,65 @@
+"""Tests for MMLab's proactive cell scanning."""
+
+import pytest
+
+from repro.cellnet.rat import RAT
+from repro.core.collector import MMLabCollector
+from repro.core.crawler import ConfigCrawler
+from repro.core.scanner import proactive_scan
+from repro.ue.device import UserEquipment
+
+
+@pytest.fixture
+def ue(env, server):
+    return UserEquipment(env, server, "A", seed=29)
+
+
+def test_scan_visits_multiple_cells(ue, scenario):
+    origin = scenario.cities[0].origin
+    visited = proactive_scan(ue, origin)
+    assert len(visited) > 3
+    assert len({c.cell_id for c in visited}) == len(visited)
+
+
+def test_scan_covers_multiple_rats(ue, scenario):
+    origin = scenario.cities[0].origin
+    visited = proactive_scan(ue, origin)
+    rats = {c.rat for c in visited}
+    assert RAT.LTE in rats
+    assert len(rats) >= 2  # at least one legacy layer audible
+
+
+def test_scan_respects_per_rat_cap(ue, scenario):
+    origin = scenario.cities[0].origin
+    visited = proactive_scan(ue, origin, max_cells_per_rat=2)
+    from collections import Counter
+
+    counts = Counter(c.rat for c in visited)
+    assert all(count <= 2 for count in counts.values())
+
+
+def test_scan_restores_lte_camping(ue, scenario):
+    origin = scenario.cities[0].origin
+    proactive_scan(ue, origin)
+    assert ue.serving is not None
+    assert ue.serving.rat is RAT.LTE
+
+
+def test_scan_configurations_reach_collector(ue, scenario):
+    collector = MMLabCollector(mode="type1")
+    ue.add_listener(collector)
+    origin = scenario.cities[0].origin
+    visited = proactive_scan(ue, origin)
+    snapshots = ConfigCrawler.crawl(collector.log_bytes())
+    crawled = {(s.carrier, s.gci) for s in snapshots}
+    for cell in visited:
+        assert (cell.carrier, cell.cell_id.gci) in crawled
+
+
+def test_scan_strongest_first_within_rat(ue, scenario, env):
+    origin = scenario.cities[0].origin
+    visited = proactive_scan(ue, origin)
+    lte = [c for c in visited if c.rat is RAT.LTE]
+    snap = env.snapshot(origin, "A")
+    rsrps = [snap.rsrp(c) for c in lte]
+    assert rsrps == sorted(rsrps, reverse=True)

@@ -1,0 +1,101 @@
+"""Tests for the dataset stores."""
+
+import pytest
+
+from repro.datasets.records import ConfigSample, HandoffInstance
+from repro.datasets.store import ConfigSampleStore, HandoffInstanceStore
+
+
+def _sample(carrier="A", gci=1, parameter="q_hyst", value=4.0, city="X",
+            rat="LTE", day=0.0, round_index=0):
+    return ConfigSample(
+        carrier=carrier, gci=gci, rat=rat, channel=850, city=city,
+        parameter=parameter, value=value, observed_day=day,
+        round_index=round_index,
+    )
+
+
+def test_filters_chain():
+    store = ConfigSampleStore([
+        _sample(carrier="A", gci=1),
+        _sample(carrier="A", gci=2, parameter="p_max", value=23),
+        _sample(carrier="T", gci=1),
+    ])
+    assert len(store.for_carrier("A")) == 2
+    assert len(store.for_carrier("A").for_parameter("q_hyst")) == 1
+    assert len(store.for_rat("LTE")) == 3
+    assert len(store.for_city("X")) == 3
+
+
+def test_unique_cells():
+    store = ConfigSampleStore([
+        _sample(carrier="A", gci=1), _sample(carrier="A", gci=1),
+        _sample(carrier="T", gci=1),
+    ])
+    assert store.unique_cells() == {("A", 1), ("T", 1)}
+
+
+def test_unique_values_deduplicates_per_cell():
+    """The paper's unique-sample convention (Section 5.1)."""
+    store = ConfigSampleStore([
+        _sample(gci=1, value=4.0, day=0.0),
+        _sample(gci=1, value=4.0, day=100.0),  # same cell, same value
+        _sample(gci=1, value=2.0, day=200.0),  # same cell, new value
+        _sample(gci=2, value=4.0),
+    ])
+    values = store.unique_values("q_hyst")
+    assert sorted(values) == [2.0, 4.0, 4.0]
+    raw = store.unique_values("q_hyst", deduplicate_cells=False)
+    assert len(raw) == 4
+
+
+def test_group_by():
+    store = ConfigSampleStore([
+        _sample(city="X"), _sample(city="Y", gci=2), _sample(city="X", gci=3),
+    ])
+    groups = store.group_by(lambda s: s.city)
+    assert set(groups) == {"X", "Y"}
+    assert len(groups["X"]) == 2
+
+
+def test_samples_per_cell():
+    store = ConfigSampleStore([
+        _sample(gci=1), _sample(gci=1, day=10.0), _sample(gci=2),
+    ])
+    assert store.samples_per_cell("q_hyst") == {("A", 1): 2, ("A", 2): 1}
+
+
+def test_config_store_save_load(tmp_path):
+    store = ConfigSampleStore([_sample(), _sample(gci=2, value=[1, 2], parameter="x")])
+    path = tmp_path / "d2.jsonl"
+    store.save(path)
+    loaded = ConfigSampleStore.load(path)
+    assert len(loaded) == 2
+    assert loaded.unique_cells() == store.unique_cells()
+
+
+def _instance(kind="active", carrier="A", event="A3", t=0):
+    return HandoffInstance(
+        kind=kind, carrier=carrier, time_ms=t, source_gci=1, target_gci=2,
+        source_channel=850, target_channel=850, intra_freq=True,
+        decisive_event=event if kind == "active" else None,
+    )
+
+
+def test_handoff_store_filters():
+    store = HandoffInstanceStore([
+        _instance(), _instance(kind="idle"), _instance(carrier="T", event="A5"),
+    ])
+    assert len(store.active()) == 2
+    assert len(store.idle()) == 1
+    assert len(store.for_carrier("A").active()) == 1
+    assert len(store.for_event("A5")) == 1
+
+
+def test_handoff_store_save_load(tmp_path):
+    store = HandoffInstanceStore([_instance(), _instance(kind="idle", t=5)])
+    path = tmp_path / "d1.jsonl"
+    store.save(path)
+    loaded = HandoffInstanceStore.load(path)
+    assert len(loaded) == 2
+    assert len(loaded.idle()) == 1

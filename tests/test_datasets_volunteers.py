@@ -1,0 +1,42 @@
+"""Tests for the volunteer population model."""
+
+from repro.datasets.volunteers import VOLUNTEER_WINDOW, volunteer_population
+
+
+def test_population_deterministic():
+    a = volunteer_population(seed=11)
+    b = volunteer_population(seed=11)
+    assert [(v.volunteer_id, v.city.name, v.carrier) for v in a] == [
+        (v.volunteer_id, v.city.name, v.carrier) for v in b
+    ]
+
+
+def test_population_size():
+    population = volunteer_population(seed=11, n_volunteers=35)
+    regular = [v for v in population if not v.dense]
+    dense = [v for v in population if v.dense]
+    assert len(regular) == 35
+    assert len(dense) == 20  # 5 US cities x 4 carriers
+
+
+def test_volunteers_subscribe_to_local_carriers():
+    from repro.cellnet.carrier import CARRIERS
+
+    for volunteer in volunteer_population(seed=11):
+        assert CARRIERS[volunteer.carrier].country == volunteer.city.country
+
+
+def test_sessions_sorted_and_in_window():
+    for volunteer in volunteer_population(seed=11):
+        days = [s.day for s in volunteer.sessions]
+        assert days == sorted(days)
+        if not volunteer.dense:
+            assert all(VOLUNTEER_WINDOW[0] <= d <= VOLUNTEER_WINDOW[1] for d in days)
+
+
+def test_dense_volunteers_cover_us_cities():
+    dense = [v for v in volunteer_population(seed=11) if v.dense]
+    cities = {v.city.name for v in dense}
+    assert cities == {"Chicago", "LA", "Indianapolis", "Columbus", "Lafayette"}
+    carriers = {v.carrier for v in dense}
+    assert carriers == {"A", "T", "V", "S"}

@@ -1,0 +1,69 @@
+"""Tests for the experiment drivers and registry."""
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult
+
+
+def test_registry_covers_every_design_md_experiment():
+    expected = (
+        {"tab02", "tab04"}
+        | {f"fig{n:02d}" for n in range(5, 23)}
+        | {"ext-instability", "ext-policies"}
+    )
+    assert set(registry.EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        registry.run("fig99")
+
+
+def test_tab02_runs_without_datasets():
+    result = registry.run("tab02")
+    assert isinstance(result, ExperimentResult)
+    assert len(result.rows) == 67  # header + 66 parameters
+
+
+def test_result_formatting():
+    result = ExperimentResult(exp_id="x", title="T")
+    result.add("a", 1.23456, "b")
+    result.note("note")
+    text = result.formatted()
+    assert "== x: T ==" in text
+    assert "1.235" in text
+    assert "# note" in text
+
+
+@pytest.mark.parametrize("exp_id", ["fig05", "fig06", "fig08", "fig09", "fig10",
+                                    "ext-instability"])
+def test_d1_experiments_run_on_tiny_build(exp_id, tiny_d1):
+    result = registry.run(exp_id, d1=tiny_d1)
+    assert result.exp_id == exp_id
+    assert result.rows
+
+
+@pytest.mark.parametrize(
+    "exp_id",
+    ["tab04", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+     "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "ext-policies"],
+)
+def test_d2_experiments_run_on_tiny_build(exp_id, tiny_d2):
+    result = registry.run(exp_id, d2=tiny_d2)
+    assert result.exp_id == exp_id
+    assert result.rows
+
+
+def test_fig16_sorted_by_simpson(tiny_d2):
+    result = registry.run("fig16", d2=tiny_d2)
+    simpsons = [row[2] for row in result.rows[1:]]
+    assert simpsons == sorted(simpsons)
+
+
+def test_fig12_totals_consistent(tiny_d2):
+    result = registry.run("fig12", d2=tiny_d2)
+    total_row = next(r for r in result.rows if r[0] == "TOTAL")
+    carrier_rows = [r for r in result.rows[1:] if r[0] != "TOTAL"]
+    assert total_row[1] == sum(r[1] for r in carrier_rows)
+    assert total_row[2] == sum(r[2] for r in carrier_rows)

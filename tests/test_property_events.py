@@ -1,0 +1,76 @@
+"""Property-based tests for event semantics and reselection invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.config.events import EventConfig, EventType, evaluate_entry, evaluate_leave
+from repro.core.analysis.diversity import simpson_index
+
+_rsrp = st.floats(min_value=-140.0, max_value=-44.0)
+_hys = st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0])
+_offset = st.sampled_from([-2.0, -1.0, 0.0, 1.0, 3.0, 5.0, 12.0])
+
+
+@given(serving=_rsrp, neighbor=_rsrp, offset=_offset, hysteresis=_hys)
+def test_entry_and_leave_never_both_true(serving, neighbor, offset, hysteresis):
+    """An event cannot simultaneously satisfy entry and leave (A3)."""
+    config = EventConfig(event=EventType.A3, offset=offset, hysteresis=hysteresis)
+    entry = evaluate_entry(config, serving, neighbor)
+    leave = evaluate_leave(config, serving, neighbor)
+    assert not (entry and leave)
+
+
+@given(serving=_rsrp, neighbor=_rsrp,
+       t1=_rsrp, t2=_rsrp, hysteresis=_hys)
+def test_a5_entry_leave_exclusive(serving, neighbor, t1, t2, hysteresis):
+    config = EventConfig(event=EventType.A5, threshold1=t1, threshold2=t2,
+                         hysteresis=hysteresis)
+    assert not (
+        evaluate_entry(config, serving, neighbor)
+        and evaluate_leave(config, serving, neighbor)
+    )
+
+
+@given(serving=_rsrp, threshold=_rsrp, hysteresis=_hys)
+def test_a1_a2_mutually_consistent(serving, threshold, hysteresis):
+    """A1 (better than) and A2 (worse than) with the same threshold can
+    never both hold at once."""
+    a1 = EventConfig(event=EventType.A1, threshold1=threshold, hysteresis=hysteresis)
+    a2 = EventConfig(event=EventType.A2, threshold1=threshold, hysteresis=hysteresis)
+    assert not (
+        evaluate_entry(a1, serving, None) and evaluate_entry(a2, serving, None)
+    )
+
+
+@given(serving=_rsrp, neighbor=_rsrp, offset=_offset)
+def test_a3_entry_monotone_in_neighbor(serving, neighbor, offset):
+    """A stronger neighbor never un-triggers A3."""
+    config = EventConfig(event=EventType.A3, offset=offset, hysteresis=1.0)
+    if evaluate_entry(config, serving, neighbor):
+        assert evaluate_entry(config, serving, neighbor + 1.0)
+
+
+@given(serving=_rsrp, neighbor=_rsrp, offset=_offset, boost=st.floats(min_value=0.0, max_value=30.0))
+def test_a3_entry_monotone_in_serving(serving, neighbor, offset, boost):
+    """A stronger serving cell never newly triggers A3."""
+    config = EventConfig(event=EventType.A3, offset=offset, hysteresis=1.0)
+    if not evaluate_entry(config, serving, neighbor):
+        assert not evaluate_entry(config, serving + boost, neighbor)
+
+
+@given(values=st.lists(st.sampled_from([1, 2, 3, 4, 5]), max_size=200))
+def test_simpson_index_bounds(values):
+    index = simpson_index(values)
+    assert 0.0 <= index < 1.0
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=100))
+def test_simpson_invariant_under_duplication(values):
+    """Duplicating the whole population leaves Simpson unchanged."""
+    assert simpson_index(values) == simpson_index(values * 2)
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=50))
+def test_simpson_increases_with_new_unique_value(values):
+    """Appending a never-seen value cannot reduce diversity."""
+    extended = values + [999]
+    assert simpson_index(extended) >= simpson_index(values) - 1e-9

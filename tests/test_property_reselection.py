@@ -1,0 +1,105 @@
+"""Property-based tests for the Eq. 3 reselection ranking."""
+
+from hypothesis import given, strategies as st
+
+from repro.cellnet.cell import Cell, CellId
+from repro.cellnet.geo import Point
+from repro.cellnet.rat import RAT
+from repro.config.lte import InterFreqLayerConfig, LteCellConfig, ServingCellConfig
+from repro.ue.measurement import FilteredMeasurement
+from repro.ue.reselection import rank_candidates
+
+
+def _cell(gci, channel):
+    return Cell(cell_id=CellId("A", gci), rat=RAT.LTE, channel=channel, pci=0,
+                location=Point(0, 0))
+
+
+def _fm(cell, rsrp):
+    return FilteredMeasurement(cell=cell, rsrp_dbm=rsrp, rsrq_db=-11.0)
+
+
+def _config(serving_priority, layer_priority, thresh_high=20.0, thresh_low=10.0,
+            serving_low=6.0, q_hyst=4.0):
+    return LteCellConfig(
+        serving=ServingCellConfig(
+            q_hyst=q_hyst, thresh_serving_low_p=serving_low,
+            cell_reselection_priority=serving_priority, q_rx_lev_min=-122.0,
+        ),
+        inter_freq_layers=(
+            InterFreqLayerConfig(
+                dl_carrier_freq=1975, cell_reselection_priority=layer_priority,
+                thresh_x_high_p=thresh_high, thresh_x_low_p=thresh_low,
+            ),
+        ),
+    )
+
+
+_rsrp = st.floats(min_value=-138.0, max_value=-50.0)
+_priority = st.integers(min_value=0, max_value=7)
+
+
+@given(serving_rsrp=_rsrp, neighbor_rsrp=_rsrp,
+       sp=_priority, lp=_priority)
+def test_ranked_candidates_have_consistent_class(serving_rsrp, neighbor_rsrp, sp, lp):
+    config = _config(sp, lp)
+    serving = _fm(_cell(1, 850), serving_rsrp)
+    neighbor = _fm(_cell(2, 1975), neighbor_rsrp)
+    ranked = rank_candidates(config, serving, [neighbor])
+    for candidate in ranked:
+        if lp > sp:
+            assert candidate.priority_class == "higher"
+        elif lp == sp:
+            assert candidate.priority_class == "equal"
+        else:
+            assert candidate.priority_class == "lower"
+
+
+@given(serving_rsrp=_rsrp, neighbor_rsrp=_rsrp, sp=_priority, lp=_priority)
+def test_lower_priority_requires_weak_serving(serving_rsrp, neighbor_rsrp, sp, lp):
+    """Eq. 3 rule 3: a lower-priority candidate never wins while the
+    serving level is above thresh_serving_low."""
+    config = _config(sp, lp, serving_low=6.0)
+    serving = _fm(_cell(1, 850), serving_rsrp)
+    neighbor = _fm(_cell(2, 1975), neighbor_rsrp)
+    ranked = rank_candidates(config, serving, [neighbor])
+    serving_level = serving_rsrp - (-122.0)
+    if lp < sp and serving_level >= 6.0:
+        assert ranked == []
+
+
+@given(serving_rsrp=_rsrp, neighbor_rsrp=_rsrp, sp=_priority)
+def test_equal_priority_winner_is_strictly_stronger(serving_rsrp, neighbor_rsrp, sp):
+    """Eq. 3 rule 2 with q_hyst > 0: the chosen equal-priority cell is
+    always strictly stronger — the Fig. 10 'equal always improves'."""
+    config = _config(sp, sp, q_hyst=4.0)
+    serving = _fm(_cell(1, 850), serving_rsrp)
+    neighbor = _fm(_cell(2, 1975), neighbor_rsrp)
+    for candidate in rank_candidates(config, serving, [neighbor]):
+        if candidate.priority_class == "equal":
+            assert candidate.measurement.rsrp_dbm > serving.rsrp_dbm
+
+
+@given(serving_rsrp=_rsrp, rsrps=st.lists(_rsrp, min_size=2, max_size=6))
+def test_ranking_order_is_priority_then_strength(serving_rsrp, rsrps):
+    config = LteCellConfig(
+        serving=ServingCellConfig(cell_reselection_priority=3, q_rx_lev_min=-122.0,
+                                  thresh_serving_low_p=62.0),
+        inter_freq_layers=(
+            InterFreqLayerConfig(dl_carrier_freq=1975, cell_reselection_priority=5,
+                                 thresh_x_high_p=0.0, thresh_x_low_p=0.0),
+            InterFreqLayerConfig(dl_carrier_freq=5110, cell_reselection_priority=2,
+                                 thresh_x_high_p=0.0, thresh_x_low_p=0.0),
+        ),
+    )
+    serving = _fm(_cell(1, 850), serving_rsrp)
+    neighbors = [
+        _fm(_cell(10 + i, 1975 if i % 2 else 5110), rsrp)
+        for i, rsrp in enumerate(rsrps)
+    ]
+    ranked = rank_candidates(config, serving, neighbors)
+    priorities = [r.priority for r in ranked]
+    assert priorities == sorted(priorities, reverse=True)
+    for a, b in zip(ranked, ranked[1:]):
+        if a.priority == b.priority:
+            assert a.measurement.rsrp_dbm >= b.measurement.rsrp_dbm

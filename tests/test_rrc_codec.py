@@ -1,0 +1,69 @@
+"""Tests for the binary message codec."""
+
+import pytest
+
+from repro.rrc.codec import CodecError, decode_message, encode_message
+from repro.rrc.messages import MeasResult, MeasurementReport, Sib1
+
+
+def test_roundtrip_simple_message():
+    sib1 = Sib1(carrier="A", gci=42, pci=17, channel=850, rat="LTE",
+                q_rx_lev_min=-122.0, city="Chicago")
+    decoded = decode_message(encode_message(sib1))
+    assert decoded == sib1
+
+
+def test_roundtrip_nested_message():
+    report = MeasurementReport(
+        event="A3",
+        metric="rsrp",
+        serving=MeasResult(carrier="A", gci=1, rsrp_dbm=-101.5),
+        neighbors=(
+            MeasResult(carrier="A", gci=2, rsrp_dbm=-96.0),
+            MeasResult(carrier="A", gci=3, rsrp_dbm=-99.25),
+        ),
+    )
+    decoded = decode_message(encode_message(report))
+    assert decoded.to_payload() == report.to_payload()
+
+
+def test_unknown_type_code_raises():
+    with pytest.raises(CodecError, match="unknown message type"):
+        decode_message(bytes([0x7F]) + encode_message(Sib1())[1:])
+
+
+def test_trailing_bytes_raise():
+    buf = encode_message(Sib1()) + b"\x00"
+    with pytest.raises(CodecError, match="trailing"):
+        decode_message(buf)
+
+
+def test_truncated_buffer_raises():
+    buf = encode_message(Sib1(city="Chicago"))
+    with pytest.raises(CodecError):
+        decode_message(buf[: len(buf) // 2])
+
+
+def test_unknown_tag_raises():
+    with pytest.raises(CodecError, match="unknown tag"):
+        decode_message(bytes([0x01, 0xFE]))
+
+
+def test_empty_buffer_raises():
+    with pytest.raises(CodecError):
+        decode_message(b"")
+
+
+def test_negative_integers_roundtrip():
+    sib1 = Sib1(gci=5, q_rx_lev_min=-122.0)
+    assert decode_message(encode_message(sib1)).q_rx_lev_min == -122.0
+
+
+def test_unicode_strings_roundtrip():
+    sib1 = Sib1(carrier="A", city="Zürich—東京")
+    assert decode_message(encode_message(sib1)).city == "Zürich—東京"
+
+
+def test_encoding_is_deterministic():
+    sib1 = Sib1(carrier="A", gci=9, city="LA")
+    assert encode_message(sib1) == encode_message(sib1)

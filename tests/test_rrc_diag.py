@@ -1,0 +1,81 @@
+"""Tests for the modem diag log format."""
+
+import pytest
+
+from repro.rrc.diag import DiagError, DiagReader, DiagWriter
+from repro.rrc.messages import PhyServingMeas, Sib1
+
+
+def test_write_read_roundtrip():
+    writer = DiagWriter.in_memory()
+    messages = [Sib1(carrier="A", gci=i) for i in range(5)]
+    for i, message in enumerate(messages):
+        writer.write(i * 100, message)
+    records = DiagReader(writer.getvalue()).records()
+    assert [r.timestamp_ms for r in records] == [0, 100, 200, 300, 400]
+    assert [r.message for r in records] == messages
+
+
+def test_empty_log():
+    assert DiagReader(b"").records() == []
+
+
+def test_bad_magic_raises():
+    writer = DiagWriter.in_memory()
+    writer.write(0, Sib1())
+    data = bytearray(writer.getvalue())
+    data[0] ^= 0xFF
+    with pytest.raises(DiagError, match="bad magic"):
+        DiagReader(bytes(data)).records()
+
+
+def test_checksum_mismatch_raises():
+    writer = DiagWriter.in_memory()
+    writer.write(0, Sib1(carrier="A", gci=1))
+    data = bytearray(writer.getvalue())
+    data[-1] ^= 0xFF  # corrupt payload
+    with pytest.raises(DiagError, match="checksum"):
+        DiagReader(bytes(data)).records()
+
+
+def test_truncated_log_raises():
+    writer = DiagWriter.in_memory()
+    writer.write(0, Sib1(carrier="A", gci=1, city="Chicago"))
+    data = writer.getvalue()
+    with pytest.raises(DiagError, match="truncated"):
+        DiagReader(data[:-4]).records()
+
+
+def test_error_reports_record_index():
+    writer = DiagWriter.in_memory()
+    writer.write(0, Sib1(gci=1))
+    writer.write(1, Sib1(gci=2))
+    data = bytearray(writer.getvalue())
+    data[-1] ^= 0xFF
+    with pytest.raises(DiagError, match="record 1"):
+        DiagReader(bytes(data)).records()
+
+
+def test_records_written_counter():
+    writer = DiagWriter.in_memory()
+    writer.write(0, Sib1())
+    writer.write(1, PhyServingMeas())
+    assert writer.records_written == 2
+
+
+def test_file_roundtrip(tmp_path):
+    writer = DiagWriter.in_memory()
+    writer.write(7, Sib1(carrier="V", gci=2))
+    path = tmp_path / "trace.diag"
+    path.write_bytes(writer.getvalue())
+    records = DiagReader.from_file(path).records()
+    assert records[0].timestamp_ms == 7
+    assert records[0].message.carrier == "V"
+
+
+def test_getvalue_requires_memory_stream(tmp_path):
+    with open(tmp_path / "x.diag", "wb") as f:
+        writer = DiagWriter(f)
+        writer.write(0, Sib1())
+        with pytest.raises(TypeError):
+            writer.getvalue()

@@ -1,0 +1,29 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.simulate.clock import SimulationClock
+
+
+def test_advance():
+    clock = SimulationClock(tick_ms=200)
+    assert clock.now_ms == 0
+    assert clock.advance() == 200
+    assert clock.advance() == 400
+    assert clock.now_s == 0.4
+
+
+def test_ticks_until_rounds_up():
+    clock = SimulationClock(tick_ms=200)
+    assert clock.ticks_until(1000) == 5
+    assert clock.ticks_until(1001) == 6
+
+
+def test_custom_start():
+    clock = SimulationClock(tick_ms=100, start_ms=500)
+    assert clock.advance() == 600
+
+
+def test_invalid_tick():
+    with pytest.raises(ValueError):
+        SimulationClock(tick_ms=0)

@@ -1,0 +1,81 @@
+"""Tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.cellnet.deployment import city_by_name
+from repro.cellnet.geo import Point
+from repro.simulate.mobility import (
+    Trajectory,
+    grid_drive,
+    highway_drive,
+    static_position,
+)
+
+
+def test_trajectory_validation():
+    with pytest.raises(ValueError, match="at least two"):
+        Trajectory(waypoints=(Point(0, 0),), times_ms=(0,))
+    with pytest.raises(ValueError, match="align"):
+        Trajectory(waypoints=(Point(0, 0), Point(1, 0)), times_ms=(0,))
+    with pytest.raises(ValueError, match="increasing"):
+        Trajectory(waypoints=(Point(0, 0), Point(1, 0)), times_ms=(0, 0))
+
+
+def test_position_interpolates():
+    trajectory = Trajectory(
+        waypoints=(Point(0, 0), Point(100, 0)), times_ms=(0, 1000)
+    )
+    assert trajectory.position(500) == Point(50.0, 0.0)
+    assert trajectory.position(-5) == Point(0, 0)
+    assert trajectory.position(5000) == Point(100, 0)
+
+
+def test_position_multi_segment():
+    trajectory = Trajectory(
+        waypoints=(Point(0, 0), Point(100, 0), Point(100, 100)),
+        times_ms=(0, 1000, 3000),
+    )
+    assert trajectory.position(2000) == Point(100.0, 50.0)
+
+
+def test_grid_drive_duration_and_extent():
+    city = city_by_name("Lafayette")
+    rng = np.random.default_rng(3)
+    trajectory = grid_drive(city, rng, duration_s=300.0, speed_kmh=40.0)
+    assert trajectory.duration_ms >= 250_000
+    extent = city.rings * city.site_spacing_m
+    for waypoint in trajectory.waypoints:
+        assert waypoint.distance_to(city.origin) <= extent * 1.1
+
+
+def test_grid_drive_moves_at_configured_speed():
+    city = city_by_name("Lafayette")
+    rng = np.random.default_rng(3)
+    trajectory = grid_drive(city, rng, duration_s=300.0, speed_kmh=36.0)
+    distance = sum(
+        a.distance_to(b)
+        for a, b in zip(trajectory.waypoints, trajectory.waypoints[1:])
+    )
+    speed_mps = distance / (trajectory.duration_ms / 1000.0)
+    assert speed_mps == pytest.approx(10.0, rel=0.05)
+
+
+def test_grid_drive_deterministic():
+    city = city_by_name("Lafayette")
+    a = grid_drive(city, np.random.default_rng(3), duration_s=120.0)
+    b = grid_drive(city, np.random.default_rng(3), duration_s=120.0)
+    assert a.waypoints == b.waypoints
+
+
+def test_highway_drive_speed_band():
+    rng = np.random.default_rng(4)
+    trajectory = highway_drive(Point(0, 0), Point(30_000, 0), rng, speed_kmh=105.0)
+    total_s = trajectory.duration_ms / 1000.0
+    speed_kmh = 30.0 / (total_s / 3600.0)
+    assert 90.0 <= speed_kmh <= 120.0
+
+
+def test_static_position():
+    trajectory = static_position(Point(5, 5), duration_s=60.0)
+    assert trajectory.position(30_000).distance_to(Point(5, 5)) < 0.1

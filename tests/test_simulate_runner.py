@@ -1,0 +1,83 @@
+"""Tests for the drive simulator."""
+
+import numpy as np
+import pytest
+
+from repro.rrc.diag import DiagReader
+from repro.simulate.runner import DriveSimulator
+from repro.simulate.traffic import NoTraffic, Ping, Speedtest
+
+
+@pytest.fixture(scope="module")
+def short_drive(scenario):
+    sim = DriveSimulator(scenario.env, scenario.server, "A", seed=5)
+    rng = np.random.default_rng(21)
+    trajectory = scenario.urban_trajectory(rng, duration_s=240.0)
+    return sim.run(trajectory, Speedtest())
+
+
+def test_samples_cover_trajectory(short_drive):
+    assert short_drive.samples
+    assert short_drive.samples[0].t_ms == 0
+    gaps = {
+        b.t_ms - a.t_ms
+        for a, b in zip(short_drive.samples, short_drive.samples[1:])
+    }
+    assert gaps == {short_drive.tick_ms}
+
+
+def test_diag_log_parses(short_drive):
+    records = DiagReader(short_drive.diag_log).records()
+    assert records
+    timestamps = [r.timestamp_ms for r in records]
+    assert timestamps == sorted(timestamps)
+
+
+def test_throughput_nonnegative(short_drive):
+    assert all(s.delivered_bps >= 0 for s in short_drive.samples)
+    assert any(s.delivered_bps > 0 for s in short_drive.samples)
+
+
+def test_interrupted_ticks_deliver_nothing(short_drive):
+    for sample in short_drive.samples:
+        if sample.interrupted:
+            assert sample.capacity_bps == 0.0
+
+
+def test_throughput_series_binning(short_drive):
+    series = short_drive.throughput_series(bin_ms=1000)
+    assert series
+    starts = [start for start, _ in series]
+    assert starts == sorted(starts)
+    assert all(start % 1000 == 0 for start in starts)
+
+
+def test_deterministic_rerun(scenario):
+    sim = DriveSimulator(scenario.env, scenario.server, "A", seed=5)
+    rng1 = np.random.default_rng(33)
+    rng2 = np.random.default_rng(33)
+    t1 = scenario.urban_trajectory(rng1, duration_s=120.0)
+    t2 = scenario.urban_trajectory(rng2, duration_s=120.0)
+    r1 = sim.run(t1, Speedtest(), run_index=3)
+    r2 = sim.run(t2, Speedtest(), run_index=3)
+    assert r1.diag_log == r2.diag_log
+    assert [s.delivered_bps for s in r1.samples] == [s.delivered_bps for s in r2.samples]
+
+
+def test_idle_run_stays_idle(scenario):
+    sim = DriveSimulator(scenario.env, scenario.server, "A", seed=5)
+    rng = np.random.default_rng(41)
+    trajectory = scenario.urban_trajectory(rng, duration_s=180.0)
+    result = sim.run(trajectory, NoTraffic(), run_index=8)
+    assert all(h.kind == "idle" for h in result.handoffs)
+    assert all(s.delivered_bps == 0.0 for s in result.samples)
+
+
+def test_ping_run_collects_rtts(scenario):
+    sim = DriveSimulator(scenario.env, scenario.server, "A", seed=5)
+    rng = np.random.default_rng(55)
+    trajectory = scenario.urban_trajectory(rng, duration_s=120.0)
+    result = sim.run(trajectory, Ping(interval_s=5.0), run_index=9)
+    assert len(result.ping_rtts_ms) >= 20
+    delivered = [rtt for _, rtt in result.ping_rtts_ms if rtt is not None]
+    assert delivered and all(rtt > 0 for rtt in delivered)

@@ -1,0 +1,44 @@
+"""Tests for canned scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.scenarios import drive_scenario
+
+
+def test_single_city_scenario(scenario):
+    assert scenario.name == "lafayette"
+    assert scenario.cities[0].name == "Lafayette"
+    assert len(scenario.plan.registry) > 100
+    carriers = {c.carrier for c in scenario.plan.registry}
+    assert carriers == {"A", "T", "V", "S"}
+
+
+def test_highway_requires_corridor(scenario):
+    with pytest.raises(ValueError, match="highway"):
+        scenario.highway_trajectory(np.random.default_rng(0))
+
+
+def test_tri_city_scenario_with_corridor():
+    tri = drive_scenario("tri-city", seed=7)
+    names = {c.name for c in tri.cities}
+    assert names == {"Chicago", "Indianapolis", "Lafayette"}
+    assert tri.highway_endpoints is not None
+    trajectory = tri.highway_trajectory(np.random.default_rng(1))
+    assert trajectory.duration_ms > 10 * 60 * 1000  # 40 km at ~105 km/h
+
+
+def test_scenario_with_highway_flag():
+    scenario = drive_scenario("lafayette", seed=7, with_highway=True)
+    assert scenario.highway_endpoints is not None
+    highway_cells = [c for c in scenario.plan.registry if "hwy" in c.city]
+    assert highway_cells
+
+
+def test_urban_trajectory_city_selection():
+    tri = drive_scenario("tri-city", seed=7)
+    trajectory = tri.urban_trajectory(
+        np.random.default_rng(2), city_name="Lafayette", duration_s=60.0
+    )
+    lafayette = next(c for c in tri.cities if c.name == "Lafayette")
+    assert trajectory.waypoints[0].distance_to(lafayette.origin) < 10_000

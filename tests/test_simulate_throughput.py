@@ -1,0 +1,66 @@
+"""Tests for the throughput model."""
+
+import numpy as np
+import pytest
+
+from repro.cellnet.cell import Cell, CellId
+from repro.cellnet.geo import Point
+from repro.cellnet.rat import RAT
+from repro.simulate.throughput import ThroughputModel
+
+
+@pytest.fixture
+def model():
+    return ThroughputModel(rng=np.random.default_rng(2))
+
+
+@pytest.fixture
+def cell():
+    return Cell(cell_id=CellId("A", 1), rat=RAT.LTE, channel=850, pci=0,
+                location=Point(0, 0), bandwidth_mhz=10.0)
+
+
+def test_capacity_monotone_in_sinr(model, cell):
+    low = model.capacity_bps(cell, 0.0, 0)
+    high = model.capacity_bps(cell, 20.0, 0)
+    assert high > low > 0
+
+
+def test_capacity_zero_below_floor(model, cell):
+    assert model.capacity_bps(cell, -10.0, 0) == 0.0
+
+
+def test_capacity_scales_with_bandwidth(model):
+    narrow = Cell(cell_id=CellId("A", 1), rat=RAT.LTE, channel=850, pci=0,
+                  location=Point(0, 0), bandwidth_mhz=5.0)
+    wide = Cell(cell_id=CellId("A", 1), rat=RAT.LTE, channel=850, pci=0,
+                location=Point(0, 0), bandwidth_mhz=20.0)
+    assert model.capacity_bps(wide, 15.0, 0) > model.capacity_bps(narrow, 15.0, 0)
+
+
+def test_capacity_capped_at_spectral_efficiency_limit(model, cell):
+    very_high = model.capacity_bps(cell, 60.0, 0)
+    # 4.4 b/s/Hz * 9 MHz usable * load share <= ~39.6 Mbps.
+    assert very_high <= 4.4 * 9e6
+
+
+def test_load_share_stable_within_epoch(model, cell):
+    a = model.capacity_bps(cell, 10.0, 1000)
+    b = model.capacity_bps(cell, 10.0, 2000)  # same 4 s epoch
+    assert a == b
+
+
+def test_load_share_varies_across_epochs(model, cell):
+    values = {model.capacity_bps(cell, 10.0, epoch * 4000) for epoch in range(10)}
+    assert len(values) > 1
+
+
+def test_rtt_grows_when_sinr_poor(model):
+    good = np.mean([model.rtt_ms(15.0) for _ in range(50)])
+    bad = np.mean([model.rtt_ms(-5.0) for _ in range(50)])
+    assert bad > good + 20.0
+
+
+def test_ping_lost_during_interruption(model):
+    assert model.ping_lost(20.0, interrupted=True)
+    assert model.ping_lost(-20.0, interrupted=False)

@@ -1,0 +1,52 @@
+"""Tests for traffic models."""
+
+from repro.simulate.traffic import ConstantRate, NoTraffic, Ping, Speedtest
+
+
+def test_speedtest_uses_full_capacity():
+    model = Speedtest()
+    assert model.delivered_bits(10e6, 200, 0) == 10e6 * 0.2
+    assert model.generates_user_traffic
+
+
+def test_constant_rate_caps_at_rate():
+    model = ConstantRate(rate_bps=1e6)
+    delivered = model.delivered_bits(10e6, 200, 0)
+    assert delivered == 1e6 * 0.2
+
+
+def test_constant_rate_caps_at_capacity():
+    model = ConstantRate(rate_bps=1e6)
+    assert model.delivered_bits(0.5e6, 200, 0) == 0.5e6 * 0.2
+
+
+def test_constant_rate_backlog_drains():
+    model = ConstantRate(rate_bps=1e6)
+    model.delivered_bits(0.0, 1000, 0)       # one second of outage queues
+    burst = model.delivered_bits(10e6, 1000, 1000)
+    assert burst > 1e6  # delivered more than one second's offered load
+
+
+def test_constant_rate_backlog_bounded():
+    model = ConstantRate(rate_bps=1e6, max_backlog_bits=2e6)
+    for i in range(100):
+        model.delivered_bits(0.0, 1000, i * 1000)
+    assert model._backlog_bits <= 2e6
+
+
+def test_ping_carries_no_data():
+    model = Ping(interval_s=5.0)
+    assert model.delivered_bits(10e6, 200, 0) == 0.0
+    assert model.generates_user_traffic
+
+
+def test_ping_probe_schedule():
+    model = Ping(interval_s=5.0)
+    due = [t for t in range(0, 20_000, 200) if model.probe_due(t, 200)]
+    assert due == [0, 5000, 10000, 15000]
+
+
+def test_no_traffic_is_idle():
+    model = NoTraffic()
+    assert not model.generates_user_traffic
+    assert model.delivered_bits(10e6, 200, 0) == 0.0

@@ -1,0 +1,93 @@
+"""Tests for network-side handover decisions."""
+
+import numpy as np
+import pytest
+
+from repro.cellnet.rat import RAT
+from repro.rrc.messages import MeasResult, MeasurementReport
+from repro.ue.handover import (
+    DECISION_DELAY_RANGE_MS,
+    NetworkController,
+    EXECUTION_INTERRUPTION_RANGE_MS,
+)
+
+
+@pytest.fixture
+def controller(env, server):
+    return NetworkController(env, server, np.random.default_rng(9))
+
+
+def _meas_result(cell, rsrp):
+    return MeasResult(
+        carrier=cell.carrier, gci=cell.cell_id.gci, pci=cell.pci,
+        channel=cell.channel, rat=cell.rat.value, rsrp_dbm=rsrp, rsrq_db=-11.0,
+    )
+
+
+@pytest.fixture
+def serving_and_neighbor(scenario):
+    cells = [c for c in scenario.plan.registry.by_carrier("A") if c.rat is RAT.LTE]
+    return cells[0], cells[1]
+
+
+def test_a3_report_yields_command(controller, serving_and_neighbor):
+    serving, neighbor = serving_and_neighbor
+    report = MeasurementReport(
+        event="A3", serving=_meas_result(serving, -105.0),
+        neighbors=(_meas_result(neighbor, -98.0),),
+    )
+    command = controller.on_measurement_report(1000, serving, report)
+    assert command is not None
+    assert command.mobility.target_gci == neighbor.cell_id.gci
+    assert DECISION_DELAY_RANGE_MS[0] <= command.execute_at_ms - 1000 <= DECISION_DELAY_RANGE_MS[1]
+    assert EXECUTION_INTERRUPTION_RANGE_MS[0] <= command.interruption_ms <= EXECUTION_INTERRUPTION_RANGE_MS[1]
+
+
+def test_report_without_neighbors_no_command(controller, serving_and_neighbor):
+    serving, _ = serving_and_neighbor
+    report = MeasurementReport(event="A2", serving=_meas_result(serving, -115.0))
+    assert controller.on_measurement_report(0, serving, report) is None
+
+
+def test_periodic_report_needs_margin(controller, serving_and_neighbor):
+    serving, neighbor = serving_and_neighbor
+    weak = MeasurementReport(
+        event="P", serving=_meas_result(serving, -100.0),
+        neighbors=(_meas_result(neighbor, -99.0),),
+    )
+    assert controller.on_measurement_report(0, serving, weak) is None
+    strong = MeasurementReport(
+        event="P", serving=_meas_result(serving, -100.0),
+        neighbors=(_meas_result(neighbor, -92.0),),
+    )
+    assert controller.on_measurement_report(0, serving, strong) is not None
+
+
+def test_serving_echo_is_not_a_candidate(controller, serving_and_neighbor):
+    serving, _ = serving_and_neighbor
+    report = MeasurementReport(
+        event="A3", serving=_meas_result(serving, -105.0),
+        neighbors=(_meas_result(serving, -104.0),),
+    )
+    assert controller.on_measurement_report(0, serving, report) is None
+
+
+def test_best_candidate_selected(controller, scenario):
+    cells = [c for c in scenario.plan.registry.by_carrier("A") if c.rat is RAT.LTE]
+    serving, weak, strong = cells[0], cells[1], cells[2]
+    report = MeasurementReport(
+        event="A3", serving=_meas_result(serving, -108.0),
+        neighbors=(_meas_result(weak, -103.0), _meas_result(strong, -96.0)),
+    )
+    command = controller.on_measurement_report(0, serving, report)
+    assert command.mobility.target_gci == strong.cell_id.gci
+
+
+def test_decisive_event_recorded(controller, serving_and_neighbor):
+    serving, neighbor = serving_and_neighbor
+    report = MeasurementReport(
+        event="A5", serving=_meas_result(serving, -112.0),
+        neighbors=(_meas_result(neighbor, -100.0),),
+    )
+    command = controller.on_measurement_report(0, serving, report)
+    assert command.decisive_event.value == "A5"

@@ -1,0 +1,173 @@
+"""Tests for legacy-RAT idle reselection."""
+
+import pytest
+
+from repro.cellnet.cell import Cell, CellId
+from repro.cellnet.geo import Point
+from repro.cellnet.rat import RAT
+from repro.config.legacy import (
+    Cdma1xCellConfig,
+    EvdoCellConfig,
+    GsmCellConfig,
+    UmtsCellConfig,
+)
+from repro.ue.legacy_reselection import (
+    LTE_RETURN_PERSISTENCE_MS,
+    LegacyReselectionEngine,
+)
+from repro.ue.measurement import FilteredMeasurement
+
+
+def _cell(gci, rat, channel):
+    return Cell(cell_id=CellId("A", gci), rat=rat, channel=channel, pci=0,
+                location=Point(0, 0))
+
+
+def _fm(cell, rsrp):
+    return FilteredMeasurement(cell=cell, rsrp_dbm=rsrp, rsrq_db=-11.0)
+
+
+UMTS_SERVING = _cell(1, RAT.UMTS, 4385)
+UMTS_NEIGHBOR = _cell(2, RAT.UMTS, 4385)
+LTE_NEIGHBOR = _cell(3, RAT.LTE, 850)
+GSM_SERVING = _cell(4, RAT.GSM, 128)
+GSM_NEIGHBOR = _cell(5, RAT.GSM, 190)
+EVDO_SERVING = _cell(6, RAT.EVDO, 466)
+EVDO_NEIGHBOR = _cell(7, RAT.EVDO, 466)
+
+
+# -- UMTS ----------------------------------------------------------------
+
+def test_umts_returns_to_lte_via_sib19():
+    engine = LegacyReselectionEngine()
+    config = UmtsCellConfig(priority_eutra=5, priority_serving=2,
+                            thresh_high_eutra=8.0, q_rxlevmin_eutra=-122.0,
+                            t_reselection_eutra=2)
+    serving = _fm(UMTS_SERVING, -95.0)
+    lte = [_fm(LTE_NEIGHBOR, -100.0)]  # level 22 > 8
+    assert engine.step(0, serving, config, lte) is None       # persistence
+    assert engine.step(1000, serving, config, lte) is None
+    decision = engine.step(2000, serving, config, lte)
+    assert decision is not None
+    assert decision.priority_class == "higher"
+    assert decision.cell.rat is RAT.LTE
+
+
+def test_umts_lte_below_threshold_ignored():
+    engine = LegacyReselectionEngine()
+    config = UmtsCellConfig(thresh_high_eutra=8.0, q_rxlevmin_eutra=-122.0)
+    serving = _fm(UMTS_SERVING, -95.0)
+    weak_lte = [_fm(LTE_NEIGHBOR, -118.0)]  # level 4 < 8
+    for t in (0, 2000, 4000, 8000):
+        assert engine.step(t, serving, config, weak_lte) is None
+
+
+def test_umts_no_lte_return_when_priority_not_higher():
+    engine = LegacyReselectionEngine()
+    config = UmtsCellConfig(priority_eutra=2, priority_serving=2)
+    serving = _fm(UMTS_SERVING, -95.0)
+    lte = [_fm(LTE_NEIGHBOR, -90.0)]
+    for t in (0, 2000, 4000):
+        assert engine.step(t, serving, config, lte) is None
+
+
+def test_umts_intra_reselection_with_hysteresis():
+    engine = LegacyReselectionEngine()
+    config = UmtsCellConfig(q_hyst_1s=4.0, t_reselection_s=1)
+    serving = _fm(UMTS_SERVING, -100.0)
+    close = [_fm(UMTS_NEIGHBOR, -97.0)]   # within hysteresis
+    assert engine.step(0, serving, config, close) is None
+    assert engine.step(1000, serving, config, close) is None
+    strong = [_fm(UMTS_NEIGHBOR, -94.0)]
+    engine.reset()
+    engine.step(0, serving, config, strong)
+    decision = engine.step(1000, serving, config, strong)
+    assert decision is not None and decision.priority_class == "equal"
+
+
+def test_umts_lte_preferred_over_intra():
+    engine = LegacyReselectionEngine()
+    config = UmtsCellConfig(priority_eutra=5, priority_serving=2,
+                            thresh_high_eutra=8.0, q_hyst_1s=4.0,
+                            t_reselection_eutra=1, t_reselection_s=1)
+    serving = _fm(UMTS_SERVING, -100.0)
+    both = [_fm(UMTS_NEIGHBOR, -90.0), _fm(LTE_NEIGHBOR, -100.0)]
+    engine.step(0, serving, config, both)
+    decision = engine.step(1000, serving, config, both)
+    assert decision is not None
+    assert decision.cell.rat is RAT.LTE  # priority beats strength
+
+
+# -- GSM -------------------------------------------------------------------
+
+def test_gsm_c2_reselection():
+    engine = LegacyReselectionEngine()
+    config = GsmCellConfig(cell_reselect_hysteresis=4.0, c2_enabled=1,
+                           cell_reselect_offset=0.0)
+    serving = _fm(GSM_SERVING, -100.0)
+    strong = [_fm(GSM_NEIGHBOR, -94.0)]
+    engine.step(0, serving, config, strong)
+    assert engine.step(2000, serving, config, strong) is None
+    decision = engine.step(5000, serving, config, strong)
+    assert decision is not None and decision.priority_class == "equal"
+
+
+def test_gsm_offset_helps_candidate():
+    engine = LegacyReselectionEngine()
+    config = GsmCellConfig(cell_reselect_hysteresis=4.0, c2_enabled=1,
+                           cell_reselect_offset=6.0)
+    serving = _fm(GSM_SERVING, -100.0)
+    # Raw margin only 2 dB, but the offset lifts C2 above hysteresis.
+    boosted = [_fm(GSM_NEIGHBOR, -98.0)]
+    engine.step(0, serving, config, boosted)
+    assert engine.step(5000, serving, config, boosted) is not None
+
+
+def test_gsm_returns_to_lte():
+    engine = LegacyReselectionEngine()
+    config = GsmCellConfig()
+    serving = _fm(GSM_SERVING, -85.0)
+    lte = [_fm(LTE_NEIGHBOR, -100.0)]
+    engine.step(0, serving, config, lte)
+    decision = engine.step(LTE_RETURN_PERSISTENCE_MS, serving, config, lte)
+    assert decision is not None and decision.priority_class == "higher"
+
+
+# -- CDMA family --------------------------------------------------------------
+
+@pytest.mark.parametrize("config", [EvdoCellConfig(), Cdma1xCellConfig()])
+def test_cdma_pilot_comparison(config):
+    engine = LegacyReselectionEngine()
+    serving = _fm(EVDO_SERVING, -100.0)
+    strong = [_fm(EVDO_NEIGHBOR, -95.0)]
+    engine.step(0, serving, config, strong)
+    decision = engine.step(3000, serving, config, strong)
+    assert decision is not None and decision.priority_class == "equal"
+
+
+def test_cdma_within_t_comp_stays():
+    engine = LegacyReselectionEngine()
+    config = Cdma1xCellConfig(t_comp=2.5)
+    serving = _fm(EVDO_SERVING, -100.0)
+    close = [_fm(EVDO_NEIGHBOR, -98.0)]  # 2 dB < t_comp
+    for t in (0, 3000, 6000):
+        assert engine.step(t, serving, config, close) is None
+
+
+def test_flapping_candidate_resets_timer():
+    engine = LegacyReselectionEngine()
+    config = UmtsCellConfig(q_hyst_1s=4.0, t_reselection_s=2)
+    serving = _fm(UMTS_SERVING, -100.0)
+    strong = [_fm(UMTS_NEIGHBOR, -94.0)]
+    weak = [_fm(UMTS_NEIGHBOR, -99.0)]
+    engine.step(0, serving, config, strong)
+    engine.step(1000, serving, config, weak)    # drops out: timer cleared
+    engine.step(2000, serving, config, strong)  # restart
+    assert engine.step(3000, serving, config, strong) is None
+    assert engine.step(4000, serving, config, strong) is not None
+
+
+def test_rejects_non_legacy_config():
+    engine = LegacyReselectionEngine()
+    with pytest.raises(TypeError):
+        engine.step(0, _fm(UMTS_SERVING, -100.0), object(), [])

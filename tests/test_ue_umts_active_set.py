@@ -1,0 +1,159 @@
+"""Tests for UMTS soft-handover active-set management."""
+
+import numpy as np
+import pytest
+
+from repro.cellnet.cell import Cell, CellId
+from repro.cellnet.geo import Point
+from repro.cellnet.rat import RAT
+from repro.config.legacy import UmtsCellConfig
+from repro.ue.measurement import FilteredMeasurement
+from repro.ue.umts_active_set import ActiveSetManager
+
+
+def _cell(gci, rat=RAT.UMTS):
+    return Cell(cell_id=CellId("A", gci), rat=rat, channel=4385, pci=0,
+                location=Point(0, 0))
+
+
+def _fm(cell, rsrp):
+    return FilteredMeasurement(cell=cell, rsrp_dbm=rsrp, rsrq_db=-11.0)
+
+
+A, B, C, D = (_cell(i) for i in range(1, 5))
+
+CONFIG = UmtsCellConfig(
+    e1a_reporting_range=4.0, e1a_hysteresis=1.0, e1a_time_to_trigger=320,
+    e1b_reporting_range=6.0, e1b_hysteresis=1.0, e1b_time_to_trigger=320,
+    e1c_replacement_threshold=-95.0, e1c_hysteresis=2.0, e1c_time_to_trigger=320,
+)
+
+
+@pytest.fixture
+def manager():
+    m = ActiveSetManager(config=CONFIG)
+    m.start(A)
+    return m
+
+
+def test_start_requires_umts():
+    m = ActiveSetManager(config=CONFIG)
+    with pytest.raises(ValueError):
+        m.start(_cell(9, rat=RAT.LTE))
+
+
+def test_step_before_start_raises():
+    m = ActiveSetManager(config=CONFIG)
+    with pytest.raises(RuntimeError):
+        m.step(0, {})
+
+
+def test_1a_adds_cell_in_range(manager):
+    measured = {A.cell_id: _fm(A, -90.0), B.cell_id: _fm(B, -92.0)}
+    assert manager.step(0, measured) == []           # TTT running
+    updates = manager.step(400, measured)
+    assert [u.kind for u in updates] == ["add"]
+    assert B in manager
+    assert manager.size == 2
+
+
+def test_1a_ignores_cell_out_of_range(manager):
+    # Range 4 dB, hysteresis 1 -> needs >= best - 3.5 dB.
+    measured = {A.cell_id: _fm(A, -90.0), B.cell_id: _fm(B, -94.0)}
+    for t in (0, 400, 800):
+        assert manager.step(t, measured) == []
+    assert manager.size == 1
+
+
+def test_1a_flicker_resets_ttt(manager):
+    inside = {A.cell_id: _fm(A, -90.0), B.cell_id: _fm(B, -91.0)}
+    outside = {A.cell_id: _fm(A, -90.0), B.cell_id: _fm(B, -98.0)}
+    manager.step(0, inside)
+    manager.step(200, outside)
+    manager.step(400, inside)
+    assert manager.step(600, inside) == []
+    assert manager.step(800, inside) != []
+
+
+def test_1b_removes_weak_active(manager):
+    measured = {A.cell_id: _fm(A, -90.0), B.cell_id: _fm(B, -91.0)}
+    manager.step(0, measured)
+    manager.step(400, measured)              # B added
+    # B collapses below best - (6 + 0.5) dB.
+    weak = {A.cell_id: _fm(A, -90.0), B.cell_id: _fm(B, -99.0)}
+    manager.step(1000, weak)
+    updates = manager.step(1400, weak)
+    assert [u.kind for u in updates] == ["remove"]
+    assert B not in manager
+
+
+def test_1b_never_empties_set(manager):
+    # Only A active and it is terrible: still kept.
+    measured = {A.cell_id: _fm(A, -120.0)}
+    for t in (0, 400, 800, 1200):
+        assert manager.step(t, measured) == []
+    assert manager.size == 1
+
+
+def test_1c_replaces_worst_when_full(manager):
+    measured = {
+        A.cell_id: _fm(A, -90.0),
+        B.cell_id: _fm(B, -91.0),
+        C.cell_id: _fm(C, -92.0),
+    }
+    manager.step(0, measured)
+    manager.step(400, measured)
+    assert manager.size == 3                 # full
+    # D clearly better than the worst active (C).
+    with_d = dict(measured)
+    with_d[D.cell_id] = _fm(D, -88.0)
+    manager.step(1000, with_d)
+    updates = manager.step(1400, with_d)
+    replaces = [u for u in updates if u.kind == "replace"]
+    assert replaces
+    assert replaces[0].cell.cell_id == D.cell_id
+    assert replaces[0].removed.cell_id == C.cell_id
+    assert manager.size == 3
+
+
+def test_non_umts_neighbors_ignored(manager):
+    lte = _cell(9, rat=RAT.LTE)
+    measured = {A.cell_id: _fm(A, -90.0), lte.cell_id: _fm(lte, -80.0)}
+    manager.step(0, measured)
+    assert manager.step(400, measured) == []
+    assert manager.size == 1
+
+
+def test_missing_active_measurements_is_safe(manager):
+    assert manager.step(0, {B.cell_id: _fm(B, -90.0)}) == []
+
+
+def test_soft_handover_walk(env, scenario):
+    """Drive the manager with real measurements across a deployment."""
+    from repro.ue.measurement import MeasurementEngine
+
+    umts_cells = [
+        c for c in scenario.plan.registry.by_carrier("A") if c.rat is RAT.UMTS
+    ]
+    if len(umts_cells) < 2:
+        pytest.skip("not enough UMTS cells in the session world")
+    engine = MeasurementEngine(env, np.random.default_rng(3))
+    start = umts_cells[0]
+    manager = ActiveSetManager(config=CONFIG)
+    manager.start(start)
+    updates = []
+    origin = start.location
+    target = umts_cells[1].location
+    for tick in range(400):
+        t = tick * 200
+        frac = tick / 400
+        location = origin.towards(target, frac)
+        measured = engine.step(location, "A", start)
+        umts_only = {
+            cid: fm for cid, fm in measured.items() if fm.cell.rat is RAT.UMTS
+        }
+        if umts_only:
+            updates.extend(manager.step(t, umts_only))
+    assert 1 <= manager.size <= manager.max_size
+    kinds = {u.kind for u in updates}
+    assert "add" in kinds  # soft handover engaged along the walk

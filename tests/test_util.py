@@ -1,0 +1,26 @@
+"""Tests for shared utilities."""
+
+import subprocess
+import sys
+
+from repro.util import stable_hash
+
+
+def test_stable_hash_deterministic_within_process():
+    assert stable_hash("AT&T") == stable_hash("AT&T")
+    assert stable_hash("A") != stable_hash("T")
+
+
+def test_stable_hash_known_value_across_processes():
+    """The whole reproducibility story depends on this hash not being
+    salted per interpreter process (unlike builtin ``hash``)."""
+    expected = stable_hash("Chicago")
+    code = "from repro.util import stable_hash; print(stable_hash('Chicago'))"
+    output = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    assert int(output.stdout.strip()) == expected
+
+
+def test_stable_hash_handles_unicode():
+    assert isinstance(stable_hash("Zürich—東京"), int)
