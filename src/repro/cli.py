@@ -11,6 +11,14 @@ writing code::
 The first ``run`` of a D1- or D2-backed experiment builds the shared
 dataset (a minute or two); subsequent experiments in the same
 invocation reuse it.
+
+``lint`` audits deployed cell configurations statically (no
+simulation) with the :mod:`repro.lint` rule engine::
+
+    python -m repro lint                       # world fleet, text report
+    python -m repro lint --format json         # machine-readable
+    python -m repro lint --city Chicago --carriers T V
+    python -m repro lint --baseline lint-baseline.json --fail-on problem
 """
 
 from __future__ import annotations
@@ -41,7 +49,94 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="experiment ids (e.g. fig06 tab04), or 'all'")
     run_parser.add_argument("--scale", type=float, default=1.0,
                             help="D1 drive-count multiplier (default 1.0)")
+    lint_parser = subparsers.add_parser(
+        "lint", help="statically audit cell configurations for misconfigurations"
+    )
+    lint_parser.add_argument("--city", default="world", metavar="NAME",
+                             help="'world' (default), 'us', or a city name "
+                                  "(e.g. Chicago)")
+    lint_parser.add_argument("--carriers", nargs="*", default=None, metavar="C",
+                             help="restrict the audit to these carriers")
+    lint_parser.add_argument("--rules", nargs="*", default=None, metavar="CODE",
+                             help="run only these rule codes (e.g. HC002 HC103)")
+    lint_parser.add_argument("--format", choices=("text", "json", "sarif"),
+                             default="text", help="report format (default text)")
+    lint_parser.add_argument("--baseline", default=None, metavar="PATH",
+                             help="suppress findings recorded in this baseline file")
+    lint_parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                             help="write all current findings to a baseline file")
+    lint_parser.add_argument("--max-cells", type=int, default=60, metavar="N",
+                             help="audit at most N cells per carrier, 0 = all "
+                                  "(default 60)")
+    lint_parser.add_argument("--seed", type=int, default=7,
+                             help="deployment seed (default 7)")
+    lint_parser.add_argument("--config-seed", type=int, default=2018,
+                             help="configuration-profile seed (default 2018)")
+    lint_parser.add_argument("--fail-on", choices=("never", "problem", "warning"),
+                             default="never",
+                             help="exit non-zero at this severity (default never)")
+    lint_parser.add_argument("--verbose", action="store_true",
+                             help="list every finding in text reports")
     return parser
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """Deploy the requested fleet and audit it with the lint engine."""
+    from repro.cellnet.deployment import (
+        DeploymentPlan,
+        build_us_deployment,
+        build_world_deployment,
+        city_by_name,
+        deploy_city,
+    )
+    from repro.cellnet.world import RadioEnvironment
+    from repro.lint import Baseline, lint_world, render_text
+    from repro.lint.report import RENDERERS
+    from repro.rrc.broadcast import ConfigServer
+
+    if args.city == "world":
+        plan = build_world_deployment(seed=args.seed)
+    elif args.city == "us":
+        plan = build_us_deployment(seed=args.seed)
+    else:
+        try:
+            city = city_by_name(args.city)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        plan = DeploymentPlan()
+        deploy_city(city, plan, args.seed)
+    env = RadioEnvironment(plan)
+    server = ConfigServer(env, seed=args.config_seed)
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    try:
+        report = lint_world(
+            env,
+            server,
+            carriers=tuple(args.carriers) if args.carriers else None,
+            max_cells_per_carrier=args.max_cells,
+            codes=args.rules,
+            baseline=baseline,
+        )
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        captured = Baseline.from_findings(report.findings + report.suppressed)
+        captured.save(args.write_baseline)
+        print(
+            f"# wrote {len(captured)} suppressions to {args.write_baseline}",
+            file=sys.stderr,
+        )
+    if args.format == "text":
+        print(render_text(report, verbose=args.verbose))
+    else:
+        print(RENDERERS[args.format](report))
+    if args.fail_on == "problem" and report.has_problems:
+        return 1
+    if args.fail_on == "warning" and report.has_warnings:
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
         for exp_id in registry.all_experiment_ids():
             print(exp_id)
         return 0
+    if args.command == "lint":
+        return _run_lint(args)
     wanted = list(args.experiments)
     if wanted == ["all"]:
         wanted = registry.all_experiment_ids()

@@ -183,11 +183,11 @@ _UMTS_IDLE = [
 
 _UMTS_CONNECTED = [
     # Intra-frequency events 1a-1f (20).
-    _umts("e1a_reporting_range", "radio_signal", ["reporting"], "meas_control", units.RELATIVE_DB),
+    _umts("e1a_reporting_range", "radio_signal", ["reporting"], "meas_control", units.REPORTING_RANGE_DB),
     _umts("e1a_hysteresis", "radio_signal", ["reporting"], "meas_control", units.HYSTERESIS_DB),
     _umts("e1a_time_to_trigger", "timer", ["reporting"], "meas_control", units.TTT_MS),
     _umts("e1a_weighting", "misc", ["reporting"], "meas_control", units.OFFSET_DB),
-    _umts("e1b_reporting_range", "radio_signal", ["reporting"], "meas_control", units.RELATIVE_DB),
+    _umts("e1b_reporting_range", "radio_signal", ["reporting"], "meas_control", units.REPORTING_RANGE_DB),
     _umts("e1b_hysteresis", "radio_signal", ["reporting"], "meas_control", units.HYSTERESIS_DB),
     _umts("e1b_time_to_trigger", "timer", ["reporting"], "meas_control", units.TTT_MS),
     _umts("e1b_weighting", "misc", ["reporting"], "meas_control", units.OFFSET_DB),

@@ -93,6 +93,9 @@ DBM_THRESHOLD = Domain("int", low=-140, high=-44, step=1)
 METRIC_THRESHOLD = Domain("float", low=-140, high=-3, step=0.5)
 DB_QUALITY_THRESHOLD = Domain("float", low=-19.5, high=-3.0, step=0.5)
 RELATIVE_DB = Domain("float", low=0, high=62, step=2)
+#: UMTS event 1a/1b reporting range (TS 25.331): 0-14.5 dB, 0.5 dB steps
+#: -- finer than the even-step S-criterion thresholds above.
+REPORTING_RANGE_DB = Domain("float", low=0, high=14.5, step=0.5)
 OFFSET_DB = Domain("float", low=-30, high=30, step=0.5)
 HYSTERESIS_DB = Domain("float", low=0, high=15, step=0.5)
 PRIORITY = Domain("int", low=0, high=7, step=1)

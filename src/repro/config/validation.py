@@ -14,11 +14,26 @@ from repro.config.lte import LteCellConfig
 
 
 def validate_config(config: LteCellConfig | LegacyCellConfig, rat: RAT) -> list[str]:
-    """Domain-check any cell configuration; returns violations."""
+    """Domain-check any cell configuration; returns violations.
+
+    Raises:
+        TypeError: When the config object's type does not match ``rat``
+            (e.g. an :class:`LteCellConfig` paired with a legacy RAT).
+            A mismatch is a caller bug, not a domain violation, so it is
+            not reported in the returned list.
+    """
     if rat is RAT.LTE:
         if not isinstance(config, LteCellConfig):
-            return [f"expected LteCellConfig for LTE, got {type(config).__name__}"]
+            raise TypeError(
+                f"expected LteCellConfig for {rat.value}, "
+                f"got {type(config).__name__}"
+            )
         return config.validate()
+    if not isinstance(config, LegacyCellConfig):
+        raise TypeError(
+            f"expected LegacyCellConfig for {rat.value}, "
+            f"got {type(config).__name__}"
+        )
     return validate_legacy(config, rat)
 
 

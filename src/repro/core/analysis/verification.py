@@ -1,203 +1,53 @@
 """Automated configuration verification (paper Sections 4.2, 5.4.1, 6).
 
-The paper's suggestions for operators become executable checks here:
-
-* **Event audits** — negative A3 offsets (defer/prevent handoffs) and
-  A5 pairs with no serving-cell requirement or inverted thresholds
-  (weaker-target handoffs);
-* **Measurement-efficiency audits** — premature intra-freq measurement
-  (Theta_intra far above the decision threshold: battery drain) and
-  late non-intra measurement (Theta_nonintra below it);
-* **Priority audits** — channels carrying multiple priority values and
-  *preference loops* between channels, the mechanism behind the
-  paper's handoff-instability case studies [22].
-
-Findings are plain data so they can be printed, counted or asserted on.
+This module is now a thin compatibility facade over :mod:`repro.lint`,
+the rule-engine static analyzer that superseded it.  The public API is
+unchanged — :func:`audit_snapshot`, :func:`audit_snapshots`,
+:func:`detect_priority_conflicts`, :func:`detect_priority_loops` and
+:func:`summarize` still return lists of :class:`Finding` — but findings
+now carry stable ``HCnnn`` codes (the historical slug lives on as
+``Finding.name``) and the full rule set runs, not just the original
+audits.  New code should import from :mod:`repro.lint` directly.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass
-
-import networkx as nx
-
-from repro.config.events import EventType
 from repro.core.crawler import CellConfigSnapshot
+from repro.lint.cell_rules import PREMATURE_GAP_DB
+from repro.lint.engine import lint_snapshots
+from repro.lint.findings import Finding, summarize
+from repro.lint.rules import all_rules
+
+__all__ = [
+    "Finding",
+    "PREMATURE_GAP_DB",
+    "audit_snapshot",
+    "audit_snapshots",
+    "detect_priority_conflicts",
+    "detect_priority_loops",
+    "summarize",
+]
 
 
-@dataclass(frozen=True)
-class Finding:
-    """One verification finding.
-
-    Attributes:
-        code: Stable machine-readable finding code.
-        severity: "info", "warning" or "problem".
-        carrier / gci: The cell the finding is about (gci -1 = network
-            level).
-        message: Human-readable explanation.
-    """
-
-    code: str
-    severity: str
-    carrier: str
-    gci: int
-    message: str
-
-
-#: The A5 "no requirement" serving threshold (best RSRP = -44 dBm).
-_A5_NO_SERVING_REQUIREMENT = -44.0
-
-#: Gap above which intra-freq measurement is considered premature.
-PREMATURE_GAP_DB = 30.0
+def _codes(scope: str | None = None) -> list[str]:
+    return [r.code for r in all_rules() if scope is None or r.scope == scope]
 
 
 def audit_snapshot(snapshot: CellConfigSnapshot) -> list[Finding]:
-    """Audit one cell's crawled configuration."""
-    findings: list[Finding] = []
-    carrier, gci = snapshot.carrier, snapshot.gci
-
-    def add(code: str, severity: str, message: str) -> None:
-        findings.append(Finding(code, severity, carrier, gci, message))
-
-    meas = snapshot.meas_config
-    if meas is not None:
-        for event in meas.events:
-            if event.event is EventType.A3 and event.offset < 0:
-                add(
-                    "a3-negative-offset",
-                    "warning",
-                    f"A3 offset {event.offset:g} dB is negative: handoffs may "
-                    "trigger toward weaker cells or be deferred",
-                )
-            if event.event is EventType.A5:
-                if event.metric == "rsrp" and event.threshold1 == _A5_NO_SERVING_REQUIREMENT:
-                    add(
-                        "a5-no-serving-requirement",
-                        "info",
-                        "A5 serving threshold -44 dBm places no requirement on "
-                        "the serving cell: early handoffs possible, weaker "
-                        "targets not excluded",
-                    )
-                if (
-                    event.threshold1 is not None
-                    and event.threshold2 is not None
-                    and event.threshold2 < event.threshold1
-                ):
-                    add(
-                        "a5-inverted-thresholds",
-                        "warning",
-                        f"A5 candidate threshold ({event.threshold2:g}) below "
-                        f"serving threshold ({event.threshold1:g}): handoffs "
-                        "to weaker cells are permitted",
-                    )
-    config = snapshot.lte_config
-    if config is not None:
-        serving = config.serving
-        if serving.s_non_intra_search_p > serving.s_intra_search_p:
-            add(
-                "nonintra-above-intra",
-                "problem",
-                "Theta_nonintra exceeds Theta_intra: non-intra-frequency "
-                "measurement would start before intra-frequency",
-            )
-        gap = serving.s_intra_search_p - serving.thresh_serving_low_p
-        if gap > PREMATURE_GAP_DB:
-            add(
-                "premature-intra-measurement",
-                "warning",
-                f"Theta_intra sits {gap:g} dB above the decision threshold: "
-                "intra-freq measurements run while no handoff can trigger "
-                "(battery drain)",
-            )
-        if serving.s_non_intra_search_p < serving.thresh_serving_low_p:
-            add(
-                "late-nonintra-measurement",
-                "warning",
-                "Theta_nonintra below the decision threshold: non-intra "
-                "measurements may start too late to assist the handoff",
-            )
-    return findings
+    """Audit one cell's crawled configuration (cell-scope rules only)."""
+    return lint_snapshots([snapshot], codes=_codes("cell")).findings
 
 
 def audit_snapshots(snapshots: list[CellConfigSnapshot]) -> list[Finding]:
     """Audit many snapshots; cell-level findings plus network-level ones."""
-    findings: list[Finding] = []
-    for snapshot in snapshots:
-        findings.extend(audit_snapshot(snapshot))
-    findings.extend(detect_priority_conflicts(snapshots))
-    findings.extend(detect_priority_loops(snapshots))
-    return findings
+    return lint_snapshots(snapshots).findings
 
 
 def detect_priority_conflicts(snapshots: list[CellConfigSnapshot]) -> list[Finding]:
-    """Channels observed with multiple serving-priority values.
-
-    Inconsistent per-channel priorities are the precondition for the
-    handoff loops of Section 5.4.1.
-    """
-    per_channel: dict[tuple[str, int], set] = defaultdict(set)
-    for snapshot in snapshots:
-        if snapshot.lte_config is None:
-            continue
-        per_channel[(snapshot.carrier, snapshot.channel)].add(
-            snapshot.lte_config.serving.cell_reselection_priority
-        )
-    findings = []
-    for (carrier, channel), priorities in sorted(per_channel.items()):
-        if len(priorities) > 1:
-            findings.append(
-                Finding(
-                    "priority-conflict",
-                    "warning",
-                    carrier,
-                    -1,
-                    f"channel {channel} carries multiple priorities "
-                    f"{sorted(priorities)}: prone to inconsistent handoffs",
-                )
-            )
-    return findings
+    """Channels observed with multiple serving-priority values (HC101)."""
+    return lint_snapshots(snapshots, codes=["HC101"]).findings
 
 
 def detect_priority_loops(snapshots: list[CellConfigSnapshot]) -> list[Finding]:
-    """Preference cycles between channels (paper's handoff loops).
-
-    Build a directed graph per carrier with an edge ch_a -> ch_b when
-    some cell on ch_a assigns ch_b a strictly higher priority than its
-    own; a cycle means two (or more) channels each defer to the other —
-    a device can bounce between them indefinitely.
-    """
-    graphs: dict[str, nx.DiGraph] = defaultdict(nx.DiGraph)
-    for snapshot in snapshots:
-        config = snapshot.lte_config
-        if config is None:
-            continue
-        own = config.serving.cell_reselection_priority
-        for layer in config.inter_freq_layers:
-            if layer.cell_reselection_priority > own:
-                graphs[snapshot.carrier].add_edge(snapshot.channel, layer.dl_carrier_freq)
-    findings = []
-    for carrier, graph in sorted(graphs.items()):
-        for cycle in nx.simple_cycles(graph):
-            if len(cycle) < 2:
-                continue
-            findings.append(
-                Finding(
-                    "priority-loop",
-                    "problem",
-                    carrier,
-                    -1,
-                    "priority preference loop between channels "
-                    f"{' -> '.join(str(c) for c in cycle)} -> {cycle[0]}: "
-                    "devices may handoff in circles",
-                )
-            )
-    return findings
-
-
-def summarize(findings: list[Finding]) -> dict[str, int]:
-    """Finding counts per code, for report tables."""
-    counts: dict[str, int] = defaultdict(int)
-    for finding in findings:
-        counts[finding.code] += 1
-    return dict(sorted(counts.items()))
+    """Preference cycles between channels (HC103, the paper's loops)."""
+    return lint_snapshots(snapshots, codes=["HC103"]).findings

@@ -1,0 +1,81 @@
+"""``repro.lint``: static analysis for handoff configurations.
+
+The paper's operator-facing takeaway is that *misconfigurations* —
+priority preference loops, inverted A5 thresholds, negative A3 offsets,
+threshold gaps (Section 6) — cause persistent handoff loops and
+throughput loss, and it explicitly proposes automated configuration
+verification as the remedy.  This package is that verifier: a rule
+engine that audits cell configurations statically, without running the
+simulator.
+
+Layout:
+
+* :mod:`findings` — the :class:`Finding` result record;
+* :mod:`rules` — the :class:`Rule` protocol, ``@rule`` decorator and
+  registry of stable ``HCnnn`` codes;
+* :mod:`cell_rules` / :mod:`network_rules` — the built-in rules;
+* :mod:`pingpong` — symbolic hysteresis/TTT/offset ping-pong algebra;
+* :mod:`engine` — snapshot/world audits and the simulation preflight;
+* :mod:`baseline` — suppression files for known-and-accepted findings;
+* :mod:`report` — text, JSON and SARIF renderers.
+
+Quick start::
+
+    from repro.lint import lint_world
+    report = lint_world(scenario.env, scenario.server)
+    print(report.counts_by_code())
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import (
+    ConfigLintWarning,
+    LintReport,
+    lint_snapshots,
+    lint_world,
+    snapshot_for_cell,
+    warn_before_run,
+    world_snapshots,
+)
+from repro.lint.findings import (
+    SEVERITIES,
+    Finding,
+    count_by_severity,
+    sort_findings,
+    summarize,
+)
+from repro.lint.report import render_json, render_sarif, render_text
+from repro.lint.rules import (
+    Issue,
+    RegisteredRule,
+    Rule,
+    all_rules,
+    get_rule,
+    rule,
+    select_rules,
+)
+
+__all__ = [
+    "Baseline",
+    "ConfigLintWarning",
+    "Finding",
+    "Issue",
+    "LintReport",
+    "RegisteredRule",
+    "Rule",
+    "SEVERITIES",
+    "all_rules",
+    "count_by_severity",
+    "get_rule",
+    "lint_snapshots",
+    "lint_world",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "rule",
+    "select_rules",
+    "snapshot_for_cell",
+    "sort_findings",
+    "summarize",
+    "warn_before_run",
+    "world_snapshots",
+]

@@ -1,0 +1,236 @@
+"""Per-cell lint rules (codes HC001-HC012).
+
+These rules audit one cell's configuration in isolation: standardized
+domains, the event-policy pathologies of paper Section 4, measurement-
+efficiency problems of Section 4.2.2 and the symbolic ping-pong algebra
+of :mod:`repro.lint.pingpong`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cellnet.rat import RAT
+from repro.config.events import EventConfig, EventType
+from repro.config.legacy import validate_legacy
+from repro.core.crawler import CellConfigSnapshot
+from repro.lint.pingpong import analyze_a3, analyze_a5
+from repro.lint.rules import Issue, rule
+
+#: The A5 "no requirement" serving threshold (best RSRP = -44 dBm).
+A5_NO_SERVING_REQUIREMENT = -44.0
+
+#: Gap above which intra-freq measurement is considered premature
+#: (Fig. 11: the paper finds >30 dB gaps in ~95% of cells and calls the
+#: battery cost out explicitly).
+PREMATURE_GAP_DB = 30.0
+
+#: Physical reporting ranges per metric (TS 36.133 mapping ranges).
+_METRIC_RANGE = {"rsrp": (-140.0, -44.0), "rsrq": (-20.0, -3.0)}
+
+
+def _armed_events(snapshot: CellConfigSnapshot) -> tuple[EventConfig, ...]:
+    if snapshot.meas_config is not None:
+        return snapshot.meas_config.events
+    return ()
+
+
+@rule("HC001", "domain-violation", scope="cell", severity="problem",
+      summary="A configured value sits outside its standardized domain")
+def domain_violation(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    problems: list[str] = []
+    if snapshot.lte_config is not None:
+        problems += snapshot.lte_config.validate()
+    if snapshot.legacy_config is not None:
+        problems += validate_legacy(snapshot.legacy_config, RAT(snapshot.rat))
+    for problem in problems:
+        yield Issue(f"value outside standardized domain: {problem}")
+
+
+@rule("HC002", "a3-negative-offset", scope="cell", severity="warning",
+      summary="A3 offset is negative, deferring or misdirecting handoffs")
+def a3_negative_offset(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    for event in _armed_events(snapshot):
+        if event.event is EventType.A3 and event.offset < 0:
+            yield Issue(
+                f"A3 offset {event.offset:g} dB is negative: handoffs may "
+                "trigger toward weaker cells or be deferred"
+            )
+
+
+@rule("HC003", "a5-no-serving-requirement", scope="cell", severity="info",
+      summary="A5 serving threshold -44 dBm places no serving requirement")
+def a5_no_serving_requirement(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    for event in _armed_events(snapshot):
+        if (
+            event.event is EventType.A5
+            and event.metric == "rsrp"
+            and event.threshold1 == A5_NO_SERVING_REQUIREMENT
+        ):
+            yield Issue(
+                "A5 serving threshold -44 dBm places no requirement on the "
+                "serving cell: early handoffs possible, weaker targets not "
+                "excluded"
+            )
+
+
+@rule("HC004", "a5-inverted-thresholds", scope="cell", severity="warning",
+      summary="A5 candidate threshold below the serving threshold")
+def a5_inverted_thresholds(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    for event in _armed_events(snapshot):
+        if (
+            event.event is EventType.A5
+            and event.threshold1 is not None
+            and event.threshold2 is not None
+            and event.threshold2 < event.threshold1
+        ):
+            yield Issue(
+                f"A5 candidate threshold ({event.threshold2:g}) below "
+                f"serving threshold ({event.threshold1:g}): handoffs to "
+                "weaker cells are permitted"
+            )
+
+
+@rule("HC005", "nonintra-above-intra", scope="cell", severity="problem",
+      summary="Theta_nonintra exceeds Theta_intra")
+def nonintra_above_intra(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    config = snapshot.lte_config
+    if config is None:
+        return
+    serving = config.serving
+    if serving.s_non_intra_search_p > serving.s_intra_search_p:
+        yield Issue(
+            "Theta_nonintra exceeds Theta_intra: non-intra-frequency "
+            "measurement would start before intra-frequency"
+        )
+
+
+@rule("HC006", "premature-intra-measurement", scope="cell", severity="warning",
+      summary="Theta_intra sits far above the decision threshold (battery)")
+def premature_intra_measurement(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    config = snapshot.lte_config
+    if config is None:
+        return
+    serving = config.serving
+    gap = serving.s_intra_search_p - serving.thresh_serving_low_p
+    if gap > PREMATURE_GAP_DB:
+        yield Issue(
+            f"Theta_intra sits {gap:g} dB above the decision threshold: "
+            "intra-freq measurements run while no handoff can trigger "
+            "(battery drain)"
+        )
+
+
+@rule("HC007", "late-nonintra-measurement", scope="cell", severity="warning",
+      summary="Theta_nonintra below the decision threshold (late measurement)")
+def late_nonintra_measurement(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    config = snapshot.lte_config
+    if config is None:
+        return
+    serving = config.serving
+    if serving.s_non_intra_search_p < serving.thresh_serving_low_p:
+        yield Issue(
+            "Theta_nonintra below the decision threshold: non-intra "
+            "measurements may start too late to assist the handoff"
+        )
+
+
+@rule("HC008", "smeasure-shadows-event", scope="cell", severity="info",
+      summary="s-Measure gates neighbor measurement below an event's "
+              "serving threshold")
+def smeasure_shadows_event(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    meas = snapshot.meas_config
+    if meas is None:
+        return
+    for event in _armed_events(snapshot):
+        if (
+            event.event in (EventType.A5, EventType.B2)
+            and event.metric == "rsrp"
+            and event.threshold1 is not None
+            and event.threshold1 > meas.s_measure
+        ):
+            yield Issue(
+                f"{event.event.value} serving threshold "
+                f"{event.threshold1:g} dBm sits above s-Measure "
+                f"{meas.s_measure:g} dBm: neighbors are not measured until "
+                f"the serving cell drops below {meas.s_measure:g} dBm, so "
+                "the event is shadowed and fires later than configured"
+            )
+
+
+@rule("HC009", "a3-ping-pong", scope="cell", severity="warning",
+      summary="A3 offset+hysteresis algebra permits handoff ping-pong")
+def a3_ping_pong(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    for event in _armed_events(snapshot):
+        risk = analyze_a3(event)
+        if risk is not None:
+            yield Issue(
+                f"A3 ping-pong: {risk.reason}",
+                severity="problem" if risk.guaranteed else None,
+            )
+
+
+@rule("HC010", "a5-ping-pong", scope="cell", severity="warning",
+      summary="Permissive A5 pair leaves only the TTT between handoff loops")
+def a5_ping_pong(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    for event in _armed_events(snapshot):
+        risk = analyze_a5(event)
+        if risk is not None:
+            yield Issue(f"A5 ping-pong: {risk.reason}")
+
+
+@rule("HC011", "dead-event", scope="cell", severity="warning",
+      summary="An armed event's entry condition is unsatisfiable")
+def dead_event(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    for event in _armed_events(snapshot):
+        low, high = _METRIC_RANGE.get(event.metric, _METRIC_RANGE["rsrp"])
+        hys = event.hysteresis
+        reason = None
+        if event.event is EventType.A1 and event.threshold1 is not None:
+            if event.threshold1 >= high - hys:
+                reason = (
+                    f"A1 needs serving - {hys:g} > {event.threshold1:g}, "
+                    f"beyond the {event.metric} ceiling {high:g}"
+                )
+        elif event.event is EventType.A2 and event.threshold1 is not None:
+            if event.threshold1 <= low + hys:
+                reason = (
+                    f"A2 needs serving + {hys:g} < {event.threshold1:g}, "
+                    f"below the {event.metric} floor {low:g}"
+                )
+        elif event.event in (EventType.A4, EventType.B1) and event.threshold1 is not None:
+            if event.threshold1 >= high - hys:
+                reason = (
+                    f"{event.event.value} needs a neighbor above "
+                    f"{event.threshold1:g}, beyond the {event.metric} "
+                    f"ceiling {high:g}"
+                )
+        elif event.event in (EventType.A5, EventType.B2):
+            if event.threshold1 is not None and event.threshold1 <= low + hys:
+                reason = (
+                    f"{event.event.value} serving clause needs serving + "
+                    f"{hys:g} < {event.threshold1:g}, below the "
+                    f"{event.metric} floor {low:g}"
+                )
+            elif event.threshold2 is not None and event.threshold2 >= high - hys:
+                reason = (
+                    f"{event.event.value} neighbor clause needs a neighbor "
+                    f"above {event.threshold2:g}, beyond the "
+                    f"{event.metric} ceiling {high:g}"
+                )
+        if reason is not None:
+            yield Issue(f"dead event, can never fire: {reason}")
+
+
+@rule("HC012", "duplicate-event", scope="cell", severity="info",
+      summary="Two armed events share a type and metric (one is redundant)")
+def duplicate_event(snapshot: CellConfigSnapshot) -> Iterator[Issue]:
+    seen: set[tuple[str, str]] = set()
+    for event in _armed_events(snapshot):
+        key = (event.event.value, event.metric)
+        if key in seen:
+            yield Issue(
+                f"{event.event.value}/{event.metric} is armed more than "
+                "once: the stricter instance is shadowed by the looser one"
+            )
+        seen.add(key)

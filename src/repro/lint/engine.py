@@ -1,0 +1,214 @@
+"""The lint engine: run rules over snapshots, worlds and fleets.
+
+Three entry layers, cheapest first:
+
+* :func:`lint_snapshots` — audit crawled/constructed snapshots;
+* :func:`lint_world` — audit a deployed world straight from its
+  :class:`~repro.rrc.broadcast.ConfigServer` (no diag round trip, no
+  simulation: this is the "audit millions of cell configs without
+  running the simulator" path);
+* :func:`warn_before_run` — the simulation preflight hook; caches one
+  audit per (server, carrier) and surfaces findings as a
+  :class:`ConfigLintWarning` so every drive knows what configuration
+  problems it is driving through.
+"""
+
+from __future__ import annotations
+
+import warnings
+import weakref
+from dataclasses import dataclass, field
+
+from repro.cellnet.cell import Cell
+from repro.cellnet.rat import RAT
+from repro.cellnet.world import RadioEnvironment
+from repro.config.profiles import profile_for_carrier
+from repro.core.crawler import CellConfigSnapshot
+from repro.lint.baseline import Baseline
+from repro.lint.findings import (
+    Finding,
+    count_by_severity,
+    sort_findings,
+    summarize,
+)
+from repro.lint.rules import RegisteredRule, select_rules
+from repro.rrc.broadcast import ConfigServer
+
+
+class ConfigLintWarning(UserWarning):
+    """Configuration findings surfaced before a simulation runs."""
+
+
+@dataclass
+class LintReport:
+    """Everything one audit produced.
+
+    Attributes:
+        findings: New findings (baseline-suppressed ones excluded),
+            deterministically sorted.
+        suppressed: Findings matched by the baseline.
+        snapshots_audited: How many cell snapshots the audit covered.
+        rules_run: Codes of the rules that ran.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    snapshots_audited: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    def counts_by_code(self) -> dict[str, int]:
+        return summarize(self.findings)
+
+    def counts_by_severity(self) -> dict[str, int]:
+        return count_by_severity(self.findings)
+
+    @property
+    def has_problems(self) -> bool:
+        return any(f.severity == "problem" for f in self.findings)
+
+    @property
+    def has_warnings(self) -> bool:
+        return any(f.severity in ("warning", "problem") for f in self.findings)
+
+
+def lint_snapshots(
+    snapshots: list[CellConfigSnapshot],
+    rules: tuple[RegisteredRule, ...] | None = None,
+    codes: list[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Run (all or selected) rules over a list of snapshots."""
+    if rules is None:
+        rules = select_rules(codes)
+    findings: list[Finding] = []
+    for registered in rules:
+        findings.extend(registered.check(snapshots))
+    findings = sort_findings(findings)
+    suppressed: list[Finding] = []
+    if baseline is not None:
+        findings, suppressed = baseline.split(findings)
+    return LintReport(
+        findings=findings,
+        suppressed=suppressed,
+        snapshots_audited=len(snapshots),
+        rules_run=tuple(r.code for r in rules),
+    )
+
+
+def snapshot_for_cell(cell: Cell, server: ConfigServer) -> CellConfigSnapshot:
+    """Build one cell's audit snapshot straight from the config server.
+
+    The snapshot carries exactly what a crawler would recover from the
+    cell's broadcasts plus a measConfig observation — but is built from
+    the server's cached base configuration, skipping the diag encode/
+    decode round trip.
+    """
+    if cell.rat is RAT.LTE:
+        config = server.lte_config(cell)
+        return CellConfigSnapshot(
+            carrier=cell.carrier,
+            gci=cell.cell_id.gci,
+            rat=cell.rat.value,
+            channel=cell.channel,
+            city=cell.city,
+            first_seen_ms=0,
+            lte_config=config,
+            meas_config=config.measurement,
+        )
+    profile = profile_for_carrier(cell.carrier, seed=server.seed)
+    return CellConfigSnapshot(
+        carrier=cell.carrier,
+        gci=cell.cell_id.gci,
+        rat=cell.rat.value,
+        channel=cell.channel,
+        city=cell.city,
+        first_seen_ms=0,
+        legacy_config=profile.legacy_config(cell),
+    )
+
+
+def world_snapshots(
+    env: RadioEnvironment,
+    server: ConfigServer,
+    carriers: tuple[str, ...] | None = None,
+    max_cells_per_carrier: int = 0,
+) -> list[CellConfigSnapshot]:
+    """Audit snapshots for a deployed world, optionally sampled.
+
+    Args:
+        env: The radio environment whose cells to audit.
+        server: Configuration oracle for that environment.
+        carriers: Restrict to these carriers (default: every carrier
+            present in the deployment).
+        max_cells_per_carrier: Audit at most this many cells per carrier
+            (0 = all).  Sampling is deterministic — cells are taken in
+            cell-id order — so repeated audits see the same population.
+    """
+    by_carrier: dict[str, list[Cell]] = {}
+    for cell in env.registry:
+        by_carrier.setdefault(cell.carrier, []).append(cell)
+    wanted = sorted(by_carrier) if carriers is None else list(carriers)
+    snapshots: list[CellConfigSnapshot] = []
+    for carrier in wanted:
+        cells = sorted(by_carrier.get(carrier, ()), key=lambda c: c.cell_id)
+        if max_cells_per_carrier > 0:
+            cells = cells[:max_cells_per_carrier]
+        snapshots.extend(snapshot_for_cell(cell, server) for cell in cells)
+    return snapshots
+
+
+def lint_world(
+    env: RadioEnvironment,
+    server: ConfigServer,
+    carriers: tuple[str, ...] | None = None,
+    max_cells_per_carrier: int = 0,
+    codes: list[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Audit a whole deployed world (or fleet subset) in one pass."""
+    snapshots = world_snapshots(
+        env, server, carriers=carriers, max_cells_per_carrier=max_cells_per_carrier
+    )
+    return lint_snapshots(snapshots, codes=codes, baseline=baseline)
+
+
+#: Preflight audits cached per config server: {carrier: (report, warned)}.
+_PREFLIGHT_CACHE: "weakref.WeakKeyDictionary[ConfigServer, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: Cell cap for preflight audits: enough for a representative verdict,
+#: cheap enough to run in front of every first drive.
+PREFLIGHT_MAX_CELLS = 200
+
+
+def warn_before_run(
+    env: RadioEnvironment, server: ConfigServer, carrier: str
+) -> LintReport:
+    """Simulation preflight: audit ``carrier`` once and warn on findings.
+
+    The audit is cached per (server, carrier) so fleets of drives pay
+    for it exactly once; the warning is emitted once per cache entry.
+    """
+    per_server = _PREFLIGHT_CACHE.setdefault(server, {})
+    cached = per_server.get(carrier)
+    if cached is not None:
+        return cached[0]
+    report = lint_world(
+        env, server, carriers=(carrier,), max_cells_per_carrier=PREFLIGHT_MAX_CELLS
+    )
+    per_server[carrier] = (report, True)
+    if report.findings:
+        severities = report.counts_by_severity()
+        codes = ", ".join(sorted(report.counts_by_code()))
+        warnings.warn(
+            ConfigLintWarning(
+                f"carrier {carrier!r} configuration has "
+                f"{len(report.findings)} lint findings "
+                f"({severities['problem']} problems, "
+                f"{severities['warning']} warnings; rules: {codes}); "
+                "run `python -m repro lint` for details"
+            ),
+            stacklevel=3,
+        )
+    return report

@@ -1,0 +1,87 @@
+"""Finding: the unit result of every lint rule.
+
+One dataclass serves the whole static-analysis stack: per-cell rules,
+cross-cell network rules, the legacy ``repro.core.analysis.verification``
+shims and all three reporters.  Findings are plain frozen data so they
+can be printed, counted, serialized and asserted on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import asdict, dataclass
+
+#: Severity levels, weakest first.  "problem" marks configurations the
+#: paper ties to concrete harm (handoff loops, unreachable layers);
+#: "warning" marks questionable-but-survivable settings; "info" marks
+#: notable practices worth surfacing.
+SEVERITIES = ("info", "warning", "problem")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding.
+
+    Attributes:
+        code: Stable machine-readable rule code (``HC001``...).
+        severity: One of :data:`SEVERITIES`.
+        carrier: Carrier the finding is about.
+        gci: Cell the finding is about (-1 = network level).
+        message: Human-readable explanation with the offending values.
+        name: Human-readable rule slug (``a3-negative-offset``).
+        channel: Channel the finding is about (-1 = not channel-bound).
+        subject: Extra discriminator for network findings that concern
+            more than one channel (e.g. ``"850->1975"``).
+    """
+
+    code: str
+    severity: str
+    carrier: str
+    gci: int
+    message: str
+    name: str = ""
+    channel: int = -1
+    subject: str = ""
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by baseline suppression.
+
+        Deliberately excludes the message: rewording a rule must not
+        invalidate existing baselines.
+        """
+        return f"{self.code}:{self.carrier}:{self.gci}:{self.channel}:{self.subject}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (adds the fingerprint)."""
+        payload = asdict(self)
+        payload["fingerprint"] = self.fingerprint
+        return payload
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Deterministic report order: carrier, cell, code, subject."""
+    return sorted(
+        findings,
+        key=lambda f: (f.carrier, f.gci, f.channel, f.code, f.subject, f.message),
+    )
+
+
+def summarize(findings: list[Finding]) -> dict[str, int]:
+    """Finding counts per code, for report tables."""
+    counts: dict[str, int] = defaultdict(int)
+    for finding in findings:
+        counts[finding.code] += 1
+    return dict(sorted(counts.items()))
+
+
+def count_by_severity(findings: list[Finding]) -> dict[str, int]:
+    """Finding counts per severity ("problem" first)."""
+    counts = {severity: 0 for severity in reversed(SEVERITIES)}
+    for finding in findings:
+        counts[finding.severity] += 1
+    return counts

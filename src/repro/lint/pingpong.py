@@ -1,0 +1,139 @@
+"""Symbolic ping-pong analysis of handoff event configurations.
+
+The paper's instability case studies (Section 5.4) observe devices
+bouncing between cells; its proposed remedy is *static* configuration
+verification.  This module reasons about the hysteresis + TTT + offset
+algebra of TS 36.331 entry conditions without running the simulator.
+
+**A3 algebra.**  An A3 handoff from serving S to target T requires
+
+    T + Ofn - Hys > S + Off            (entry, held for TTT)
+
+After the handoff the roles swap; the reverse handoff requires
+
+    S + Ofn - Hys > T + Off
+
+Writing d = T - S, the forward condition is ``d > Off + Hys - Ofn`` and
+the reverse is ``-d > Off + Hys - Ofn``.  Both can hold (for different
+instants of a fluctuating d) whenever the separation band
+
+    margin = 2 * (Off + Hys - Ofn)
+
+is narrow: with ``margin <= 0`` the two trigger regions *overlap* and a
+device between comparable cells oscillates indefinitely; with a small
+positive margin, ordinary shadow fading (a few dB) walks d across the
+band and only the time-to-trigger damps the loop.
+
+**A5 algebra.**  A5 requires ``S + Hys < Thresh1`` and ``T + Ofn - Hys >
+Thresh2``.  When Thresh1 is the spec ceiling (-44 dBm: "no serving
+requirement", Section 4.1) the serving clause always holds, so right
+after a handoff the *old* serving cell re-satisfies the neighbor clause
+it just passed — the reverse event is armed immediately and only the
+TTT stands between the device and a loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.events import EventConfig, EventType
+
+#: Best possible RSRP (dBm): the spec's reporting ceiling.
+RSRP_CEILING_DBM = -44.0
+
+#: Band (dB) under which shadow fading realistically crosses the A3
+#: forward/reverse separation; ~2 dB matches suburban shadowing sigma.
+A3_RISK_BAND_DB = 2.0
+
+#: TTT (ms) at or below which a risky A3 band is considered undamped.
+A3_RISK_TTT_MS = 160
+
+#: TTT (ms) at or below which a no-serving-requirement A5 is considered
+#: undamped (the profile population uses 640+ for coverage events).
+A5_RISK_TTT_MS = 640
+
+
+@dataclass(frozen=True)
+class PingPongRisk:
+    """Result of the symbolic analysis of one armed event.
+
+    Attributes:
+        event: The analyzed event type value ("A3", "A5").
+        margin_db: Separation band between forward and reverse triggers
+            (A3 only; 0.0 for A5).
+        time_to_trigger_ms: The event's TTT (the only remaining damper).
+        guaranteed: True when the trigger regions overlap, i.e. a loop
+            needs no fading at all.
+        reason: Human-readable explanation of the algebra.
+    """
+
+    event: str
+    margin_db: float
+    time_to_trigger_ms: int
+    guaranteed: bool
+    reason: str
+
+
+def analyze_a3(config: EventConfig) -> PingPongRisk | None:
+    """Symbolic ping-pong risk of one armed A3/A6 event, if any."""
+    if config.event not in (EventType.A3, EventType.A6):
+        return None
+    margin = 2.0 * (config.offset + config.hysteresis)
+    if margin <= 0.0:
+        return PingPongRisk(
+            event=config.event.value,
+            margin_db=margin,
+            time_to_trigger_ms=config.time_to_trigger_ms,
+            guaranteed=True,
+            reason=(
+                f"offset {config.offset:g} dB + hysteresis "
+                f"{config.hysteresis:g} dB <= 0: forward and reverse A3 "
+                "triggers overlap, comparable cells hand off in circles"
+            ),
+        )
+    if margin < A3_RISK_BAND_DB and config.time_to_trigger_ms <= A3_RISK_TTT_MS:
+        return PingPongRisk(
+            event=config.event.value,
+            margin_db=margin,
+            time_to_trigger_ms=config.time_to_trigger_ms,
+            guaranteed=False,
+            reason=(
+                f"{margin:g} dB separation band with "
+                f"{config.time_to_trigger_ms} ms TTT: ordinary shadow "
+                "fading re-triggers the reverse handoff"
+            ),
+        )
+    return None
+
+
+def analyze_a5(config: EventConfig) -> PingPongRisk | None:
+    """Symbolic ping-pong risk of one armed A5/B2 event, if any."""
+    if config.event not in (EventType.A5, EventType.B2):
+        return None
+    if config.metric != "rsrp" or config.threshold1 is None:
+        return None
+    if config.threshold1 < RSRP_CEILING_DBM:
+        return None
+    if config.time_to_trigger_ms > A5_RISK_TTT_MS:
+        return None
+    return PingPongRisk(
+        event=config.event.value,
+        margin_db=0.0,
+        time_to_trigger_ms=config.time_to_trigger_ms,
+        guaranteed=False,
+        reason=(
+            f"serving threshold {config.threshold1:g} dBm places no "
+            "requirement on the serving cell, so the reverse A5 arms the "
+            "instant the handoff completes; only the "
+            f"{config.time_to_trigger_ms} ms TTT damps the loop"
+        ),
+    )
+
+
+def analyze_event(config: EventConfig) -> PingPongRisk | None:
+    """Dispatch to the right analyzer for one armed event."""
+    if config.event in (EventType.A3, EventType.A6):
+        return analyze_a3(config)
+    if config.event in (EventType.A5, EventType.B2):
+        return analyze_a5(config)
+    return None

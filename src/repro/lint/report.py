@@ -1,0 +1,144 @@
+"""Reporters: text for terminals, JSON for pipelines, SARIF for CI.
+
+Each renderer takes a :class:`~repro.lint.engine.LintReport` and returns
+a string; none of them mutate the report.  The SARIF output follows the
+2.1.0 schema shape (tool.driver.rules + results) so standard code-
+scanning UIs can ingest fleet audits.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+from repro.lint.rules import all_rules
+
+JSON_REPORT_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Lint severity -> SARIF result level.
+SARIF_LEVELS = {"info": "note", "warning": "warning", "problem": "error"}
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable report: summary table plus per-finding lines."""
+    lines = [
+        f"repro lint: {report.snapshots_audited} cell configurations audited, "
+        f"{len(report.findings)} findings "
+        f"({len(report.suppressed)} baseline-suppressed)"
+    ]
+    counts = report.counts_by_code()
+    if counts:
+        names = {rule.code: rule.name for rule in all_rules()}
+        lines.append("")
+        for code, count in counts.items():
+            lines.append(f"  {code}  {names.get(code, '?'):32s} {count:6d}")
+        lines.append("")
+    shown: set[str] = set()
+    for finding in report.findings:
+        first_of_code = finding.code not in shown
+        shown.add(finding.code)
+        if not (verbose or first_of_code):
+            continue
+        where = f"{finding.carrier}/{finding.gci}" if finding.gci >= 0 else finding.carrier
+        if finding.channel >= 0:
+            where += f" ch{finding.channel}"
+        prefix = "" if verbose else "e.g. "
+        lines.append(
+            f"{prefix}{finding.code} [{finding.severity}] {where}: {finding.message}"
+        )
+    severities = report.counts_by_severity()
+    lines.append(
+        f"{severities['problem']} problems, {severities['warning']} warnings, "
+        f"{severities['info']} informational"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable JSON report."""
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "tool": "repro.lint",
+        "snapshots_audited": report.snapshots_audited,
+        "rules_run": list(report.rules_run),
+        "counts_by_code": report.counts_by_code(),
+        "counts_by_severity": report.counts_by_severity(),
+        "suppressed": len(report.suppressed),
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 report for code-scanning ingestion.
+
+    Cells have no file locations, so each result carries a synthetic
+    ``logicalLocations`` entry (carrier/gci) plus the raw identifiers in
+    ``properties``.
+    """
+    ran = set(report.rules_run)
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": SARIF_LEVELS[rule.severity]},
+        }
+        for rule in all_rules()
+        if rule.code in ran
+    ]
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "name": f"{finding.carrier}/{finding.gci}",
+                            "kind": "namespace",
+                        }
+                    ]
+                }
+            ],
+            "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+            "properties": {
+                "carrier": finding.carrier,
+                "gci": finding.gci,
+                "channel": finding.channel,
+                "subject": finding.subject,
+            },
+        }
+        for finding in report.findings
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

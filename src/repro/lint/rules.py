@@ -1,0 +1,161 @@
+"""The rule framework: protocol, registry and the ``@rule`` decorator.
+
+A lint rule is a pure function over crawled configuration state:
+
+* **cell** rules see one :class:`~repro.core.crawler.CellConfigSnapshot`
+  at a time and catch local misconfigurations (bad domains, inverted
+  thresholds, ping-pong-prone event algebra);
+* **network** rules see every snapshot of an audit at once and catch
+  emergent problems no single cell exhibits (priority preference loops,
+  inter-channel threshold gaps, conflicting priorities on one EARFCN).
+
+Rules yield lightweight :class:`Issue` drafts; the engine stamps them
+into full :class:`~repro.lint.findings.Finding` records with the rule's
+stable code, slug and default severity.  Codes are append-only: a code
+is never reused for a different check, which is what makes baselines
+and SARIF dashboards stable across releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.core.crawler import CellConfigSnapshot
+from repro.lint.findings import SEVERITIES, Finding
+
+#: Rule scopes.
+SCOPES = ("cell", "network")
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One draft finding yielded by a rule body.
+
+    Every field is optional; the engine fills carrier/gci/channel from
+    the snapshot for cell rules and severity from the rule default.
+    """
+
+    message: str
+    severity: str | None = None
+    carrier: str | None = None
+    gci: int | None = None
+    channel: int | None = None
+    subject: str = ""
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """What the engine requires of a rule (satisfied by ``@rule``)."""
+
+    code: str
+    name: str
+    severity: str
+    scope: str
+    summary: str
+
+    def check(
+        self, snapshots: list[CellConfigSnapshot]
+    ) -> Iterator[Finding]: ...
+
+
+@dataclass(frozen=True)
+class RegisteredRule:
+    """A registered rule: metadata plus the wrapped check function."""
+
+    code: str
+    name: str
+    severity: str
+    scope: str
+    summary: str
+    func: Callable = field(compare=False)
+
+    def check(self, snapshots: list[CellConfigSnapshot]) -> Iterator[Finding]:
+        """Run the rule over an audit's snapshots, yielding findings."""
+        if self.scope == "cell":
+            for snapshot in snapshots:
+                for issue in self.func(snapshot):
+                    yield self._stamp(issue, snapshot)
+        else:
+            for issue in self.func(snapshots):
+                yield self._stamp(issue, None)
+
+    def _stamp(self, issue: Issue, snapshot: CellConfigSnapshot | None) -> Finding:
+        carrier = issue.carrier if issue.carrier is not None else (
+            snapshot.carrier if snapshot is not None else ""
+        )
+        gci = issue.gci if issue.gci is not None else (
+            snapshot.gci if snapshot is not None else -1
+        )
+        channel = issue.channel if issue.channel is not None else (
+            snapshot.channel if snapshot is not None else -1
+        )
+        return Finding(
+            code=self.code,
+            severity=issue.severity or self.severity,
+            carrier=carrier,
+            gci=gci,
+            message=issue.message,
+            name=self.name,
+            channel=channel,
+            subject=issue.subject,
+        )
+
+
+_REGISTRY: dict[str, RegisteredRule] = {}
+
+
+def rule(code: str, name: str, *, scope: str, severity: str, summary: str):
+    """Register a check function as a lint rule.
+
+    Args:
+        code: Stable ``HCnnn`` code (1xx = network scope by convention).
+        name: Human-readable kebab-case slug.
+        scope: "cell" (function takes one snapshot) or "network"
+            (function takes the full snapshot list).
+        severity: Default severity; individual issues may override.
+        summary: One-line description used by reporters and ``--help``.
+    """
+    if scope not in SCOPES:
+        raise ValueError(f"unknown rule scope {scope!r}")
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def register(func: Callable) -> RegisteredRule:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code}")
+        registered = RegisteredRule(
+            code=code, name=name, severity=severity, scope=scope,
+            summary=summary, func=func,
+        )
+        _REGISTRY[code] = registered
+        return registered
+
+    return register
+
+
+def all_rules() -> tuple[RegisteredRule, ...]:
+    """Every registered rule, ordered by code."""
+    _ensure_loaded()
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> RegisteredRule:
+    """Look a rule up by its stable code."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(f"unknown rule code {code!r}") from None
+
+
+def select_rules(codes: Iterable[str] | None = None) -> tuple[RegisteredRule, ...]:
+    """Resolve an optional code filter to concrete rules."""
+    if codes is None:
+        return all_rules()
+    return tuple(get_rule(code) for code in codes)
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in rule modules (registration side effect)."""
+    from repro.lint import cell_rules, network_rules  # noqa: F401

@@ -72,6 +72,10 @@ class DriveSimulator:
         seed: Seeds the UE, the network controller and traffic noise.
         tick_ms: Simulation step (the paper bins throughput at 100 ms;
             200 ms keeps long sweeps fast while preserving shapes).
+        config_lint: Preflight-audit the carrier's configurations before
+            the first drive and surface findings as a
+            :class:`~repro.lint.engine.ConfigLintWarning`.  The audit is
+            cached per (server, carrier), so fleets pay for it once.
     """
 
     def __init__(
@@ -81,12 +85,14 @@ class DriveSimulator:
         carrier: str,
         seed: int = 0,
         tick_ms: int = 200,
+        config_lint: bool = True,
     ):
         self.env = env
         self.server = server
         self.carrier = carrier
         self.seed = seed
         self.tick_ms = tick_ms
+        self.config_lint = config_lint
 
     def run(
         self,
@@ -101,6 +107,12 @@ class DriveSimulator:
         idle (idle-state handoffs), matching the paper's two Type-II
         modes.
         """
+        if self.config_lint:
+            # Imported here: repro.lint reaches repro.core, whose package
+            # init imports this module back (core.server drives fleets).
+            from repro.lint.engine import warn_before_run
+
+            warn_before_run(self.env, self.server, self.carrier)
         traffic = traffic if traffic is not None else NoTraffic()
         ue = UserEquipment(
             self.env, self.server, self.carrier, seed=(self.seed * 1009 + run_index)

@@ -46,7 +46,8 @@ def test_negative_a3_offset_flagged():
         EventConfig(event=EventType.A3, offset=-1.0, hysteresis=1.0),
     ))
     findings = audit_snapshot(_snapshot(meas=meas))
-    assert any(f.code == "a3-negative-offset" for f in findings)
+    flagged = [f for f in findings if f.code == "HC002"]
+    assert flagged and flagged[0].name == "a3-negative-offset"
 
 
 def test_a5_no_serving_requirement_flagged():
@@ -55,8 +56,8 @@ def test_a5_no_serving_requirement_flagged():
     ))
     findings = audit_snapshot(_snapshot(meas=meas))
     codes = {f.code for f in findings}
-    assert "a5-no-serving-requirement" in codes
-    assert "a5-inverted-thresholds" in codes
+    assert "HC003" in codes
+    assert "HC004" in codes
 
 
 def test_premature_measurement_flagged():
@@ -67,7 +68,7 @@ def test_premature_measurement_flagged():
         )
     )
     findings = audit_snapshot(snapshot)
-    assert any(f.code == "premature-intra-measurement" for f in findings)
+    assert any(f.code == "HC006" for f in findings)
 
 
 def test_late_nonintra_flagged():
@@ -78,7 +79,7 @@ def test_late_nonintra_flagged():
         )
     )
     findings = audit_snapshot(snapshot)
-    assert any(f.code == "late-nonintra-measurement" for f in findings)
+    assert any(f.code == "HC007" for f in findings)
 
 
 def test_nonintra_above_intra_is_problem():
@@ -89,7 +90,7 @@ def test_nonintra_above_intra_is_problem():
         )
     )
     findings = audit_snapshot(snapshot)
-    problem = [f for f in findings if f.code == "nonintra-above-intra"]
+    problem = [f for f in findings if f.code == "HC005"]
     assert problem and problem[0].severity == "problem"
 
 
@@ -102,7 +103,7 @@ def test_priority_conflict_detection():
     ]
     findings = detect_priority_conflicts(snapshots)
     assert len(findings) == 1
-    assert findings[0].code == "priority-conflict"
+    assert findings[0].code == "HC101"
 
 
 def test_priority_loop_detection():
@@ -122,7 +123,7 @@ def test_priority_loop_detection():
         ),
     ]
     findings = detect_priority_loops(snapshots)
-    assert any(f.code == "priority-loop" for f in findings)
+    assert any(f.code == "HC103" for f in findings)
     assert findings[0].severity == "problem"
 
 
@@ -150,7 +151,7 @@ def test_summarize_counts():
     ))
     findings = audit_snapshots([_snapshot(meas=meas), _snapshot(gci=2, meas=meas)])
     summary = summarize(findings)
-    assert summary["a3-negative-offset"] == 2
+    assert summary["HC002"] == 2
 
 
 def test_audit_real_population(tiny_d2, server):
@@ -171,4 +172,4 @@ def test_audit_real_population(tiny_d2, server):
     snapshots = ConfigCrawler.crawl(writer.getvalue())
     findings = audit_snapshots(snapshots)
     codes = {f.code for f in findings}
-    assert "premature-intra-measurement" in codes
+    assert "HC006" in codes

@@ -1,0 +1,35 @@
+"""Tests for structural configuration validation."""
+
+import pytest
+
+from repro.cellnet.rat import RAT
+from repro.config.legacy import UmtsCellConfig
+from repro.config.lte import LteCellConfig, ServingCellConfig
+from repro.config.validation import assert_valid, validate_config
+
+
+def test_valid_lte_config_passes():
+    assert validate_config(LteCellConfig(), RAT.LTE) == []
+    assert_valid(LteCellConfig(), RAT.LTE)
+
+
+def test_domain_violation_reported():
+    config = LteCellConfig(serving=ServingCellConfig(s_intra_search_p=63.0))
+    problems = validate_config(config, RAT.LTE)
+    assert problems and "s_intra_search_p" in problems[0]
+    with pytest.raises(ValueError, match="s_intra_search_p"):
+        assert_valid(config, RAT.LTE)
+
+
+def test_lte_config_with_legacy_rat_raises_type_error():
+    with pytest.raises(TypeError, match="expected LegacyCellConfig"):
+        validate_config(LteCellConfig(), RAT.UMTS)
+
+
+def test_legacy_config_with_lte_rat_raises_type_error():
+    with pytest.raises(TypeError, match="expected LteCellConfig"):
+        validate_config(UmtsCellConfig(), RAT.LTE)
+
+
+def test_valid_legacy_config_passes():
+    assert validate_config(UmtsCellConfig(), RAT.UMTS) == []

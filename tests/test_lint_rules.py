@@ -1,0 +1,302 @@
+"""Per-rule tests: each rule code fires on a known-bad configuration.
+
+Every built-in rule gets a minimal synthetic snapshot that trips exactly
+the pathology the rule encodes, plus a clean counterpart proving the
+rule stays quiet on healthy configurations.
+"""
+
+import pytest
+
+from repro.config.events import EventConfig, EventType
+from repro.config.lte import (
+    InterFreqLayerConfig,
+    LteCellConfig,
+    MeasurementConfig,
+    ServingCellConfig,
+)
+from repro.core.crawler import CellConfigSnapshot
+from repro.lint import all_rules, lint_snapshots
+from repro.lint.pingpong import analyze_a3, analyze_a5, analyze_event
+
+CLEAN_SERVING = ServingCellConfig(
+    s_intra_search_p=30.0, s_non_intra_search_p=8.0, thresh_serving_low_p=6.0,
+)
+
+
+def _snapshot(gci=1, channel=850, carrier="A", serving=None, layers=(), meas=None):
+    config = LteCellConfig(
+        serving=serving or CLEAN_SERVING,
+        inter_freq_layers=tuple(layers),
+    )
+    return CellConfigSnapshot(
+        carrier=carrier, gci=gci, rat="LTE", channel=channel, city="X",
+        first_seen_ms=0, lte_config=config, meas_config=meas,
+    )
+
+
+def _codes(snapshots, only=None):
+    report = lint_snapshots(snapshots, codes=only)
+    return {f.code for f in report.findings}
+
+
+def test_registry_covers_both_scopes():
+    rules = all_rules()
+    codes = [r.code for r in rules]
+    assert codes == sorted(codes)
+    assert len(codes) == len(set(codes))
+    assert {r.scope for r in rules} == {"cell", "network"}
+    assert len(rules) >= 16
+
+
+def test_hc001_domain_violation():
+    bad = _snapshot(serving=ServingCellConfig(
+        s_intra_search_p=63.0,  # odd value: the domain steps by 2 dB
+        s_non_intra_search_p=8.0, thresh_serving_low_p=6.0,
+    ))
+    findings = lint_snapshots([bad], codes=["HC001"]).findings
+    assert findings and findings[0].severity == "problem"
+    assert "s_intra_search_p" in findings[0].message
+    assert _codes([_snapshot()], only=["HC001"]) == set()
+
+
+def test_hc002_a3_negative_offset():
+    meas = MeasurementConfig(events=(
+        EventConfig(event=EventType.A3, offset=-2.0, hysteresis=1.0),
+    ))
+    assert "HC002" in _codes([_snapshot(meas=meas)])
+    good = MeasurementConfig(events=(
+        EventConfig(event=EventType.A3, offset=3.0, hysteresis=1.0),
+    ))
+    assert "HC002" not in _codes([_snapshot(meas=good)])
+
+
+def test_hc003_a5_no_serving_requirement():
+    meas = MeasurementConfig(events=(
+        EventConfig(event=EventType.A5, threshold1=-44.0, threshold2=-112.0),
+    ))
+    assert "HC003" in _codes([_snapshot(meas=meas)])
+
+
+def test_hc004_a5_inverted_thresholds():
+    meas = MeasurementConfig(events=(
+        EventConfig(event=EventType.A5, threshold1=-100.0, threshold2=-112.0),
+    ))
+    assert "HC004" in _codes([_snapshot(meas=meas)])
+    upright = MeasurementConfig(events=(
+        EventConfig(event=EventType.A5, threshold1=-112.0, threshold2=-100.0),
+    ))
+    assert "HC004" not in _codes([_snapshot(meas=upright)])
+
+
+def test_hc005_nonintra_above_intra():
+    bad = _snapshot(serving=ServingCellConfig(
+        s_intra_search_p=8.0, s_non_intra_search_p=20.0, thresh_serving_low_p=6.0,
+    ))
+    findings = lint_snapshots([bad], codes=["HC005"]).findings
+    assert findings and findings[0].severity == "problem"
+
+
+def test_hc006_premature_intra_measurement():
+    bad = _snapshot(serving=ServingCellConfig(
+        s_intra_search_p=62.0, s_non_intra_search_p=8.0, thresh_serving_low_p=6.0,
+    ))
+    assert "HC006" in _codes([bad])
+    assert "HC006" not in _codes([_snapshot()])
+
+
+def test_hc007_late_nonintra_measurement():
+    bad = _snapshot(serving=ServingCellConfig(
+        s_intra_search_p=30.0, s_non_intra_search_p=2.0, thresh_serving_low_p=6.0,
+    ))
+    assert "HC007" in _codes([bad])
+
+
+def test_hc008_smeasure_shadows_event():
+    meas = MeasurementConfig(
+        events=(EventConfig(event=EventType.A5, threshold1=-90.0, threshold2=-100.0),),
+        s_measure=-97.0,
+    )
+    assert "HC008" in _codes([_snapshot(meas=meas)])
+    gated_ok = MeasurementConfig(
+        events=(EventConfig(event=EventType.A5, threshold1=-100.0, threshold2=-95.0),),
+        s_measure=-97.0,
+    )
+    assert "HC008" not in _codes([_snapshot(meas=gated_ok)])
+
+
+def test_hc009_a3_ping_pong_guaranteed_is_problem():
+    meas = MeasurementConfig(events=(
+        EventConfig(event=EventType.A3, offset=-1.0, hysteresis=1.0),
+    ))
+    findings = lint_snapshots([_snapshot(meas=meas)], codes=["HC009"]).findings
+    assert findings and findings[0].severity == "problem"
+
+
+def test_hc009_a3_ping_pong_risky_band_is_warning():
+    meas = MeasurementConfig(events=(
+        EventConfig(event=EventType.A3, offset=0.5, hysteresis=0.25,
+                    time_to_trigger_ms=40),
+    ))
+    findings = lint_snapshots([_snapshot(meas=meas)], codes=["HC009"]).findings
+    assert findings and findings[0].severity == "warning"
+    damped = MeasurementConfig(events=(
+        EventConfig(event=EventType.A3, offset=0.5, hysteresis=0.25,
+                    time_to_trigger_ms=480),
+    ))
+    assert _codes([_snapshot(meas=damped)], only=["HC009"]) == set()
+
+
+def test_hc010_a5_ping_pong():
+    meas = MeasurementConfig(events=(
+        EventConfig(event=EventType.A5, threshold1=-44.0, threshold2=-100.0,
+                    time_to_trigger_ms=640),
+    ))
+    assert "HC010" in _codes([_snapshot(meas=meas)])
+    damped = MeasurementConfig(events=(
+        EventConfig(event=EventType.A5, threshold1=-44.0, threshold2=-100.0,
+                    time_to_trigger_ms=1024),
+    ))
+    assert "HC010" not in _codes([_snapshot(meas=damped)])
+
+
+def test_hc011_dead_event():
+    meas = MeasurementConfig(events=(
+        # A2 entry needs serving + hys < -140: below the RSRP floor.
+        EventConfig(event=EventType.A2, threshold1=-140.0),
+        # A4 entry needs a neighbor above the -44 dBm ceiling.
+        EventConfig(event=EventType.A4, threshold1=-44.0),
+    ))
+    findings = lint_snapshots([_snapshot(meas=meas)], codes=["HC011"]).findings
+    assert len(findings) == 2
+    live = MeasurementConfig(events=(
+        EventConfig(event=EventType.A2, threshold1=-112.0),
+    ))
+    assert _codes([_snapshot(meas=live)], only=["HC011"]) == set()
+
+
+def test_hc012_duplicate_event():
+    meas = MeasurementConfig(events=(
+        EventConfig(event=EventType.A3, offset=2.0),
+        EventConfig(event=EventType.A3, offset=4.0),
+    ))
+    assert "HC012" in _codes([_snapshot(meas=meas)])
+    distinct = MeasurementConfig(events=(
+        EventConfig(event=EventType.A3, offset=2.0, metric="rsrp"),
+        EventConfig(event=EventType.A3, offset=2.0, metric="rsrq"),
+    ))
+    assert "HC012" not in _codes([_snapshot(meas=distinct)])
+
+
+def test_hc101_priority_conflict():
+    snapshots = [
+        _snapshot(gci=1, channel=850,
+                  serving=ServingCellConfig(cell_reselection_priority=3)),
+        _snapshot(gci=2, channel=850,
+                  serving=ServingCellConfig(cell_reselection_priority=5)),
+    ]
+    findings = lint_snapshots(snapshots, codes=["HC101"]).findings
+    assert len(findings) == 1
+    assert findings[0].channel == 850
+    assert findings[0].gci == -1
+
+
+def test_hc102_layer_priority_disagreement():
+    snapshots = [
+        _snapshot(gci=1, channel=850, layers=[
+            InterFreqLayerConfig(dl_carrier_freq=1975, cell_reselection_priority=2),
+        ]),
+        _snapshot(gci=2, channel=850, layers=[
+            InterFreqLayerConfig(dl_carrier_freq=1975, cell_reselection_priority=6),
+        ]),
+    ]
+    findings = lint_snapshots(snapshots, codes=["HC102"]).findings
+    assert len(findings) == 1
+    assert findings[0].channel == 1975
+
+
+def test_hc103_priority_loop():
+    snapshots = [
+        _snapshot(gci=1, channel=850,
+                  serving=ServingCellConfig(cell_reselection_priority=3),
+                  layers=[InterFreqLayerConfig(dl_carrier_freq=1975,
+                                               cell_reselection_priority=5)]),
+        _snapshot(gci=2, channel=1975,
+                  serving=ServingCellConfig(cell_reselection_priority=3),
+                  layers=[InterFreqLayerConfig(dl_carrier_freq=850,
+                                               cell_reselection_priority=5)]),
+    ]
+    findings = lint_snapshots(snapshots, codes=["HC103"]).findings
+    assert findings and findings[0].severity == "problem"
+    assert findings[0].subject == "850<->1975"
+    consistent = [
+        _snapshot(gci=1, channel=850,
+                  serving=ServingCellConfig(cell_reselection_priority=3),
+                  layers=[InterFreqLayerConfig(dl_carrier_freq=1975,
+                                               cell_reselection_priority=5)]),
+        _snapshot(gci=2, channel=1975,
+                  serving=ServingCellConfig(cell_reselection_priority=5),
+                  layers=[InterFreqLayerConfig(dl_carrier_freq=850,
+                                               cell_reselection_priority=3)]),
+    ]
+    assert lint_snapshots(consistent, codes=["HC103"]).findings == []
+
+
+def test_hc104_reselection_gap():
+    snapshots = [
+        # Channel 850 leaves to lower-priority 1975 below serving-low 10 dB.
+        _snapshot(gci=1, channel=850,
+                  serving=ServingCellConfig(
+                      s_intra_search_p=30.0, s_non_intra_search_p=12.0,
+                      thresh_serving_low_p=10.0, cell_reselection_priority=5),
+                  layers=[InterFreqLayerConfig(dl_carrier_freq=1975,
+                                               cell_reselection_priority=3)]),
+        # Channel 1975 climbs back once 850 exceeds just 6 dB: overlap.
+        _snapshot(gci=2, channel=1975,
+                  serving=ServingCellConfig(cell_reselection_priority=3),
+                  layers=[InterFreqLayerConfig(dl_carrier_freq=850,
+                                               cell_reselection_priority=5,
+                                               thresh_x_high_p=6.0)]),
+    ]
+    findings = lint_snapshots(snapshots, codes=["HC104"]).findings
+    assert len(findings) == 1
+    assert findings[0].channel == 850
+    assert findings[0].subject == "850->1975"
+
+
+def test_clean_snapshot_is_silent():
+    assert _codes([_snapshot()]) == set()
+
+
+@pytest.mark.parametrize("offset,hysteresis,guaranteed", [
+    (-1.0, 1.0, True),    # margin 0: overlap
+    (-3.0, 0.5, True),    # margin < 0
+    (0.5, 0.25, False),   # narrow band, fading-driven
+])
+def test_pingpong_a3_margins(offset, hysteresis, guaranteed):
+    risk = analyze_a3(EventConfig(event=EventType.A3, offset=offset,
+                                  hysteresis=hysteresis))
+    assert risk is not None
+    assert risk.guaranteed is guaranteed
+    assert risk.margin_db == pytest.approx(2.0 * (offset + hysteresis))
+
+
+def test_pingpong_a3_safe_margin():
+    assert analyze_a3(EventConfig(event=EventType.A3, offset=2.0,
+                                  hysteresis=1.0)) is None
+
+
+def test_pingpong_a5_requires_rsrp_ceiling():
+    risky = EventConfig(event=EventType.A5, threshold1=-44.0, threshold2=-100.0)
+    assert analyze_a5(risky) is not None
+    demanding = EventConfig(event=EventType.A5, threshold1=-100.0, threshold2=-112.0)
+    assert analyze_a5(demanding) is None
+    rsrq = EventConfig(event=EventType.A5, metric="rsrq", threshold1=-3.0,
+                       threshold2=-19.5)
+    assert analyze_a5(rsrq) is None
+
+
+def test_pingpong_dispatch():
+    a3 = EventConfig(event=EventType.A3, offset=-1.0, hysteresis=0.0)
+    assert analyze_event(a3) is not None and analyze_event(a3).event == "A3"
+    a1 = EventConfig(event=EventType.A1, threshold1=-80.0)
+    assert analyze_event(a1) is None
