@@ -1,0 +1,33 @@
+"""D1 build benchmark: serial loop vs. work-unit process pool.
+
+Drives dominate D1 build time (each is a full UE simulation), so this
+is where process fan-out pays off first.  The parity assertion doubles
+as a continuous check that worker count never changes the dataset.
+"""
+
+from dataclasses import replace
+
+from repro.datasets.d1 import D1Options, build_d1
+
+BENCH_D1 = D1Options(
+    scenario="lafayette",
+    active_drives=2,
+    idle_drives=1,
+    drive_duration_s=300.0,
+    carriers=("A", "T"),
+    highway_drives=0,
+    workers=1,
+)
+
+
+def test_build_d1_serial(run_once):
+    build = run_once(lambda: build_d1(BENCH_D1))
+    print(f"\nserial: {len(build.store)} instances from {len(build.drives)} drives")
+    assert len(build.store) > 0
+
+
+def test_build_d1_process_pool(run_once):
+    build = run_once(lambda: build_d1(replace(BENCH_D1, workers=4)))
+    print(f"\nworkers=4: {len(build.store)} instances from {len(build.drives)} drives")
+    reference = build_d1(BENCH_D1)
+    assert [i.to_json() for i in build.store] == [i.to_json() for i in reference.store]

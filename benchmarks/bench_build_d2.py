@@ -1,0 +1,25 @@
+"""D2 build benchmark: serial loop vs. work-unit process pool.
+
+The builds are small enough to run twice in one benchmark session but
+large enough that session fan-out matters; the parity assertion doubles
+as a continuous check that worker count never changes the dataset.
+"""
+
+from dataclasses import replace
+
+from repro.datasets.d2 import D2Options, build_d2
+
+BENCH_D2 = D2Options(n_volunteers=10, include_dense=True, workers=1)
+
+
+def test_build_d2_serial(run_once):
+    build = run_once(lambda: build_d2(BENCH_D2))
+    print(f"\nserial: {len(build.store)} samples over {build.n_sessions} sessions")
+    assert len(build.store) > 0
+
+
+def test_build_d2_process_pool(run_once):
+    build = run_once(lambda: build_d2(replace(BENCH_D2, workers=4)))
+    print(f"\nworkers=4: {len(build.store)} samples over {build.n_sessions} sessions")
+    reference = build_d2(BENCH_D2)
+    assert [s.to_json() for s in build.store] == [s.to_json() for s in reference.store]

@@ -7,10 +7,21 @@ writing code::
     python -m repro run fig06
     python -m repro run fig06 --scale 2      # bigger D1 build
     python -m repro run tab04 fig11 fig22    # several at once
+    python -m repro run tab04 --workers 4    # parallel dataset build
 
 The first ``run`` of a D1- or D2-backed experiment builds the shared
 dataset (a minute or two); subsequent experiments in the same
 invocation reuse it.
+
+``build-d1`` / ``build-d2`` build a dataset standalone and write it to
+a JSONL file, fanning work units over a process pool with
+``--workers``::
+
+    python -m repro build-d2 --workers 4 --out d2.jsonl
+    python -m repro build-d1 --workers 4 --scale 2 --out d1.jsonl
+
+Worker count changes wall-clock time only: the output file is
+byte-identical for any ``--workers`` value.
 
 ``lint`` audits deployed cell configurations statically (no
 simulation) with the :mod:`repro.lint` rule engine::
@@ -49,6 +60,52 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="experiment ids (e.g. fig06 tab04), or 'all'")
     run_parser.add_argument("--scale", type=float, default=1.0,
                             help="D1 drive-count multiplier (default 1.0)")
+    run_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                            help="worker processes for dataset builds "
+                                 "(default: REPRO_WORKERS or 1)")
+    d1_parser = subparsers.add_parser(
+        "build-d1", help="build dataset D1 (handoff instances) to a JSONL file"
+    )
+    d1_parser.add_argument("--out", default="d1.jsonl", metavar="PATH",
+                           help="output JSONL path (default d1.jsonl)")
+    d1_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="worker processes (default: REPRO_WORKERS or 1)")
+    d1_parser.add_argument("--scenario", default="indianapolis",
+                           help="drive scenario (default indianapolis)")
+    d1_parser.add_argument("--scale", type=float, default=1.0,
+                           help="drive-count multiplier (default 1.0)")
+    d1_parser.add_argument("--active-drives", type=int, default=4, metavar="N",
+                           help="active drives per carrier before scaling (default 4)")
+    d1_parser.add_argument("--idle-drives", type=int, default=2, metavar="N",
+                           help="idle drives per carrier before scaling (default 2)")
+    d1_parser.add_argument("--duration", type=float, default=600.0, metavar="S",
+                           help="drive duration in seconds (default 600)")
+    d1_parser.add_argument("--carriers", nargs="*", default=None, metavar="C",
+                           help="carriers to drive (default: A T V S)")
+    d1_parser.add_argument("--highway-drives", type=int, default=1, metavar="N",
+                           help="highway runs per carrier (default 1)")
+    d1_parser.add_argument("--seed", type=int, default=7,
+                           help="deployment seed (default 7)")
+    d1_parser.add_argument("--config-seed", type=int, default=2018,
+                           help="configuration-profile seed (default 2018)")
+    d2_parser = subparsers.add_parser(
+        "build-d2", help="build dataset D2 (config samples) to a JSONL file"
+    )
+    d2_parser.add_argument("--out", default="d2.jsonl", metavar="PATH",
+                           help="output JSONL path (default d2.jsonl)")
+    d2_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="worker processes (default: REPRO_WORKERS or 1)")
+    d2_parser.add_argument("--volunteers", type=int, default=35, metavar="N",
+                           help="volunteer count (default 35)")
+    d2_parser.add_argument("--extra-rings", type=int, default=0, metavar="K",
+                           help="extra deployment rings (default 0; 3 nears "
+                                "the paper's 32k-cell scale)")
+    d2_parser.add_argument("--no-dense", action="store_true",
+                           help="skip the authors' dense city sweeps")
+    d2_parser.add_argument("--seed", type=int, default=7,
+                           help="deployment seed (default 7)")
+    d2_parser.add_argument("--config-seed", type=int, default=2018,
+                           help="configuration-profile seed (default 2018)")
     lint_parser = subparsers.add_parser(
         "lint", help="statically audit cell configurations for misconfigurations"
     )
@@ -139,6 +196,67 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_build_d1(args: argparse.Namespace) -> int:
+    """Build D1 over the work-unit pipeline and save it as JSONL."""
+    import time
+
+    from repro.datasets.d1 import D1Options, build_d1
+    from repro.experiments.common import default_workers
+
+    options = D1Options(
+        seed=args.seed,
+        config_seed=args.config_seed,
+        scenario=args.scenario,
+        active_drives=args.active_drives,
+        idle_drives=args.idle_drives,
+        drive_duration_s=args.duration,
+        scale=args.scale,
+        carriers=tuple(args.carriers) if args.carriers else ("A", "T", "V", "S"),
+        highway_drives=args.highway_drives,
+        workers=args.workers if args.workers is not None else default_workers(),
+    )
+    start = time.perf_counter()
+    build = build_d1(options)
+    elapsed = time.perf_counter() - start
+    build.store.save(args.out)
+    print(
+        f"# D1: {len(build.store)} instances "
+        f"({len(build.store.active())} active, {len(build.store.idle())} idle) "
+        f"from {len(build.drives)} drives in {elapsed:.1f}s "
+        f"(workers={options.workers}) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_build_d2(args: argparse.Namespace) -> int:
+    """Build D2 over the work-unit pipeline and save it as JSONL."""
+    import time
+
+    from repro.datasets.d2 import D2Options, build_d2
+    from repro.experiments.common import default_workers
+
+    options = D2Options(
+        seed=args.seed,
+        config_seed=args.config_seed,
+        n_volunteers=args.volunteers,
+        extra_rings=args.extra_rings,
+        include_dense=not args.no_dense,
+        workers=args.workers if args.workers is not None else default_workers(),
+    )
+    start = time.perf_counter()
+    build = build_d2(options)
+    elapsed = time.perf_counter() - start
+    build.store.save(args.out)
+    print(
+        f"# D2: {len(build.store)} samples from {len(build.store.unique_cells())} "
+        f"cells over {build.n_sessions} sessions in {elapsed:.1f}s "
+        f"(workers={options.workers}) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -147,6 +265,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "build-d1":
+        return _run_build_d1(args)
+    if args.command == "build-d2":
+        return _run_build_d2(args)
     wanted = list(args.experiments)
     if wanted == ["all"]:
         wanted = registry.all_experiment_ids()
@@ -161,12 +283,12 @@ def main(argv: list[str] | None = None) -> int:
         if exp_id in _NEEDS_D1:
             if d1 is None:
                 print("# building dataset D1...", file=sys.stderr)
-                d1 = default_d1(scale=args.scale)
+                d1 = default_d1(scale=args.scale, workers=args.workers)
             kwargs["d1"] = d1
         elif exp_id in _NEEDS_D2:
             if d2 is None:
                 print("# building dataset D2...", file=sys.stderr)
-                d2 = default_d2()
+                d2 = default_d2(workers=args.workers)
             kwargs["d2"] = d2
         result = registry.run(exp_id, **kwargs)
         result.print()

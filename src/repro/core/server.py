@@ -12,14 +12,22 @@ running the MMLab app, and MMLab servers that (1) push experimentation
   Type-II guided drive ("we run experiments around certain cells or
   routes with configurations of interest");
 * **execute** pending patches; every run's diag log lands in the
-  server's archive;
+  server's archive.  Execution goes through a
+  :mod:`repro.pipeline` backend: each queued patch becomes one
+  :class:`ServerPatchUnit`, so a process-pool backend runs
+  participants' patches concurrently while the archive keeps the exact
+  serial order;
 * **harvest** the archive into configuration samples and handoff
-  instances, ready for the analysis toolkit.
+  instances, ready for the analysis toolkit.  The ``iter_*`` harvesters
+  crawl log-by-log, so consumers can stream rows into a store without
+  a second full-archive materialization.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -28,9 +36,10 @@ from repro.core.crawler import crawl_config_samples
 from repro.core.handoffs import extract_handoff_instances
 from repro.core.scanner import proactive_scan
 from repro.datasets.records import ConfigSample, HandoffInstance
+from repro.pipeline import ExecutionBackend, SerialBackend, WorkUnit
 from repro.simulate.mobility import Trajectory
 from repro.simulate.runner import DriveSimulator
-from repro.simulate.scenarios import DriveScenario
+from repro.simulate.scenarios import DriveScenario, ScenarioSpec
 from repro.simulate.traffic import TrafficModel
 from repro.ue.device import UserEquipment
 
@@ -63,7 +72,7 @@ class Participant:
 
     participant_id: int
     carrier: str
-    pending: list[ExperimentPatch] = field(default_factory=list)
+    pending: deque[ExperimentPatch] = field(default_factory=deque)
 
 
 @dataclass
@@ -77,12 +86,122 @@ class CollectedLog:
     throughput_series: list = field(default_factory=list)
 
 
-class MMLabServer:
-    """Coordinates participants, patches and log harvesting."""
+def execute_patch(
+    scenario: DriveScenario,
+    seed: int,
+    participant_id: int,
+    carrier: str,
+    patch: ExperimentPatch,
+) -> CollectedLog:
+    """Run one patch on one participant's device; pure in its inputs.
 
-    def __init__(self, scenario: DriveScenario, seed: int = 0):
+    Both the in-process path and :class:`ServerPatchUnit` call this, so
+    the archive content is identical no matter where a patch executes.
+    """
+    if patch.kind == "type1":
+        ue = UserEquipment(
+            scenario.env, scenario.server, carrier,
+            seed=seed * 10_000 + participant_id * 100 + patch.patch_id,
+            sib_obs_rng=np.random.default_rng((seed, participant_id, patch.patch_id)),
+        )
+        ue.days_since_epoch = patch.observed_day
+        collector = MMLabCollector(mode="type1")
+        ue.add_listener(collector)
+        t_ms = 0
+        for stop in patch.stops:
+            proactive_scan(ue, stop, start_ms=t_ms)
+            t_ms += 60_000
+        return CollectedLog(
+            participant_id=participant_id,
+            carrier=carrier,
+            patch=patch,
+            log_bytes=collector.log_bytes(),
+        )
+    if patch.kind == "type2":
+        sim = DriveSimulator(
+            scenario.env, scenario.server, carrier,
+            seed=seed * 101 + participant_id,
+        )
+        result = sim.run(patch.trajectory, patch.traffic, run_index=patch.patch_id)
+        return CollectedLog(
+            participant_id=participant_id,
+            carrier=carrier,
+            patch=patch,
+            log_bytes=result.diag_log,
+            throughput_series=result.throughput_series(bin_ms=1000),
+        )
+    raise ValueError(f"unknown patch kind {patch.kind!r}")
+
+
+class ServerPatchUnit(WorkUnit):
+    """One queued patch as a pipeline work unit.
+
+    Spec-built scenarios (anything from :func:`drive_scenario`) cross
+    process boundaries as their :class:`ScenarioSpec`; the live scenario
+    object is dropped on pickling and rebuilt (process-cached) in the
+    worker.  Hand-assembled scenarios without a spec still run on any
+    in-process backend.
+    """
+
+    def __init__(
+        self,
+        unit_id: int,
+        seed: int,
+        participant_id: int,
+        carrier: str,
+        patch: ExperimentPatch,
+        spec: ScenarioSpec | None = None,
+        scenario: DriveScenario | None = None,
+    ):
+        self.unit_id = unit_id
+        self.seed = seed
+        self.participant_id = participant_id
+        self.carrier = carrier
+        self.patch = patch
+        self.spec = spec
+        self.scenario = scenario
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if state["spec"] is not None:
+            # Workers rebuild from the spec; never ship a live world.
+            state["scenario"] = None
+        return state
+
+    def run(self) -> CollectedLog:
+        scenario = self.scenario
+        if scenario is None:
+            if self.spec is None:
+                raise RuntimeError(
+                    "ServerPatchUnit has neither a scenario nor a spec; "
+                    "scenarios without a ScenarioSpec only run on in-process backends"
+                )
+            scenario = self.spec.build()
+        return execute_patch(
+            scenario, self.seed, self.participant_id, self.carrier, self.patch
+        )
+
+
+class MMLabServer:
+    """Coordinates participants, patches and log harvesting.
+
+    Args:
+        scenario: The world the participants live in.
+        seed: Seeds every patch execution (combined with participant
+            and patch ids).
+        backend: Default execution backend for ``run_pending`` /
+            ``run_all_pending`` (serial when omitted).
+    """
+
+    def __init__(
+        self,
+        scenario: DriveScenario,
+        seed: int = 0,
+        backend: ExecutionBackend | None = None,
+    ):
         self.scenario = scenario
         self.seed = seed
+        self.backend = backend or SerialBackend()
         self._participants: dict[int, Participant] = {}
         self._next_participant = 0
         self._next_patch = 0
@@ -127,85 +246,68 @@ class MMLabServer:
 
     # -- execution -----------------------------------------------------------
 
-    def run_pending(self, participant_id: int) -> int:
+    def _drain_units(self, participant_ids: list[int]) -> list[ServerPatchUnit]:
+        """Dequeue every pending patch as work units, in FIFO order."""
+        units: list[ServerPatchUnit] = []
+        for participant_id in participant_ids:
+            participant = self._participants[participant_id]
+            while participant.pending:
+                patch = participant.pending.popleft()
+                units.append(
+                    ServerPatchUnit(
+                        unit_id=len(units),
+                        seed=self.seed,
+                        participant_id=participant.participant_id,
+                        carrier=participant.carrier,
+                        patch=patch,
+                        spec=self.scenario.spec,
+                        scenario=self.scenario,
+                    )
+                )
+        return units
+
+    def _execute(self, units: list[ServerPatchUnit], backend: ExecutionBackend | None) -> int:
+        runner = backend or self.backend
+        for log in runner.run(units):
+            self.archive.append(log)
+        return len(units)
+
+    def run_pending(
+        self, participant_id: int, backend: ExecutionBackend | None = None
+    ) -> int:
         """Execute the participant's queued patches; returns run count."""
-        participant = self._participants[participant_id]
-        executed = 0
-        while participant.pending:
-            patch = participant.pending.pop(0)
-            self.archive.append(self._run_patch(participant, patch))
-            executed += 1
-        return executed
+        return self._execute(self._drain_units([participant_id]), backend)
 
-    def run_all_pending(self) -> int:
-        """Execute every participant's queue."""
-        return sum(
-            self.run_pending(pid) for pid in sorted(self._participants)
-        )
-
-    def _run_patch(self, participant: Participant, patch: ExperimentPatch) -> CollectedLog:
-        if patch.kind == "type1":
-            ue = UserEquipment(
-                self.scenario.env, self.scenario.server, participant.carrier,
-                seed=self.seed * 10_000 + participant.participant_id * 100 + patch.patch_id,
-                sib_obs_rng=np.random.default_rng(
-                    (self.seed, participant.participant_id, patch.patch_id)
-                ),
-            )
-            ue.days_since_epoch = patch.observed_day
-            collector = MMLabCollector(mode="type1")
-            ue.add_listener(collector)
-            t_ms = 0
-            for stop in patch.stops:
-                proactive_scan(ue, stop, start_ms=t_ms)
-                t_ms += 60_000
-            return CollectedLog(
-                participant_id=participant.participant_id,
-                carrier=participant.carrier,
-                patch=patch,
-                log_bytes=collector.log_bytes(),
-            )
-        if patch.kind == "type2":
-            sim = DriveSimulator(
-                self.scenario.env, self.scenario.server, participant.carrier,
-                seed=self.seed * 101 + participant.participant_id,
-            )
-            result = sim.run(patch.trajectory, patch.traffic, run_index=patch.patch_id)
-            return CollectedLog(
-                participant_id=participant.participant_id,
-                carrier=participant.carrier,
-                patch=patch,
-                log_bytes=result.diag_log,
-                throughput_series=result.throughput_series(bin_ms=1000),
-            )
-        raise ValueError(f"unknown patch kind {patch.kind!r}")
+    def run_all_pending(self, backend: ExecutionBackend | None = None) -> int:
+        """Execute every participant's queue (one batch over the backend)."""
+        return self._execute(self._drain_units(sorted(self._participants)), backend)
 
     # -- harvesting ------------------------------------------------------------
 
-    def harvest_config_samples(self) -> list[ConfigSample]:
-        """All configuration samples crawled from the archive."""
-        samples: list[ConfigSample] = []
+    def iter_config_samples(self) -> Iterator[ConfigSample]:
+        """Stream configuration samples, crawling the archive log-by-log."""
         for log in self.archive:
-            samples.extend(
-                crawl_config_samples(
-                    log.log_bytes,
-                    observed_day=log.patch.observed_day,
-                    round_index=log.patch.patch_id,
-                )
+            yield from crawl_config_samples(
+                log.log_bytes,
+                observed_day=log.patch.observed_day,
+                round_index=log.patch.patch_id,
             )
-        return samples
 
-    def harvest_handoff_instances(self) -> list[HandoffInstance]:
-        """All handoff instances extracted from Type-II runs."""
-        instances: list[HandoffInstance] = []
+    def iter_handoff_instances(self) -> Iterator[HandoffInstance]:
+        """Stream handoff instances from Type-II runs, log-by-log."""
         for log in self.archive:
             if log.patch.kind != "type2":
                 continue
-            instances.extend(
-                extract_handoff_instances(
-                    log.log_bytes,
-                    log.carrier,
-                    throughput_series=log.throughput_series,
-                )
+            yield from extract_handoff_instances(
+                log.log_bytes,
+                log.carrier,
+                throughput_series=log.throughput_series,
             )
-        return instances
+
+    def harvest_config_samples(self) -> list[ConfigSample]:
+        """All configuration samples crawled from the archive."""
+        return list(self.iter_config_samples())
+
+    def harvest_handoff_instances(self) -> list[HandoffInstance]:
+        """All handoff instances extracted from Type-II runs."""
+        return list(self.iter_handoff_instances())

@@ -19,21 +19,30 @@ The builder simulates that collection process:
 Configurations are only ever learned through the logs, and repeated
 observations of the same cell across sessions/days carry the temporal
 churn the Fig. 13 analysis measures.
+
+Sessions are independent of each other (different volunteers never
+share state, and a volunteer's rounds are separately seeded), so the
+build fans each session out as one :class:`D2SessionUnit` on a
+:mod:`repro.pipeline` backend.  Each unit collects *and crawls* its own
+log, streaming back ``ConfigSample`` rows instead of raw log bytes —
+the archive of binary logs is never materialized.  ``D2Options.workers``
+picks the backend; the result is bit-identical at any worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cellnet.deployment import City, DeploymentPlan, build_world_deployment
 from repro.cellnet.geo import Point
 from repro.cellnet.world import RadioEnvironment
-from repro.core.collector import MMLabCollector
 from repro.core.crawler import crawl_config_samples
+from repro.datasets.records import ConfigSample
 from repro.datasets.store import ConfigSampleStore
 from repro.datasets.volunteers import Volunteer, volunteer_population
+from repro.pipeline import ExecutionBackend, WorkUnit, process_cached, resolve_backend
 from repro.rrc.broadcast import ConfigServer
 from repro.rrc.diag import DiagWriter
 
@@ -59,6 +68,9 @@ class D2Options:
     #: Probability that an observed cell's measConfig gets logged
     #: (the phone had background traffic at that stop).
     active_observation_rate: float = 0.5
+    #: Worker processes for the build (1 = serial in-process).  Any
+    #: worker count produces bit-identical stores.
+    workers: int = 1
 
 
 @dataclass
@@ -71,6 +83,47 @@ class D2Build:
     server: ConfigServer
     n_sessions: int = 0
     n_logs_bytes: int = 0
+
+
+@dataclass
+class D2Context:
+    """Shared read-only context of one D2 build (cached per process)."""
+
+    plan: DeploymentPlan
+    env: RadioEnvironment
+    server: ConfigServer
+    volunteers: list[Volunteer]
+
+
+def d2_context(options: D2Options) -> D2Context:
+    """The world + volunteer population behind ``options``.
+
+    Cached per process on the fields that shape the context, so the
+    parent and each pool worker pay for the deployment exactly once no
+    matter how many sessions they execute.
+    """
+    key = (
+        "d2-context",
+        options.seed,
+        options.config_seed,
+        options.volunteer_seed,
+        options.n_volunteers,
+        options.extra_rings,
+        options.include_dense,
+    )
+
+    def build() -> D2Context:
+        plan = build_world_deployment(seed=options.seed, extra_rings=options.extra_rings)
+        env = RadioEnvironment(plan)
+        server = ConfigServer(env, seed=options.config_seed)
+        volunteers = volunteer_population(
+            seed=options.volunteer_seed, n_volunteers=options.n_volunteers
+        )
+        if not options.include_dense:
+            volunteers = [v for v in volunteers if not v.dense]
+        return D2Context(plan=plan, env=env, server=server, volunteers=volunteers)
+
+    return process_cached(key, build)
 
 
 def _dense_stops(city: City, partial: bool) -> list[Point]:
@@ -123,46 +176,100 @@ def _collect_session(
     return writer.getvalue()
 
 
-def build_d2(options: D2Options = D2Options()) -> D2Build:
-    """Build dataset D2 end-to-end through the device-side pipeline."""
-    plan = build_world_deployment(seed=options.seed, extra_rings=options.extra_rings)
-    env = RadioEnvironment(plan)
-    server = ConfigServer(env, seed=options.config_seed)
-    volunteers = volunteer_population(
-        seed=options.volunteer_seed, n_volunteers=options.n_volunteers
-    )
-    if not options.include_dense:
-        volunteers = [v for v in volunteers if not v.dense]
-    store = ConfigSampleStore()
-    build = D2Build(store=store, plan=plan, env=env, server=server)
-    for volunteer in volunteers:
-        for round_index, session in enumerate(volunteer.sessions):
-            rng = np.random.default_rng(
-                (options.seed, 0xD2, volunteer.volunteer_id, round_index)
-            )
-            if volunteer.dense:
-                partial = volunteer.city.name in ("Chicago", "LA")
-                stops = _dense_stops(volunteer.city, partial)
-                # Each round covers a subset of the grid (real drives do
-                # not retrace every road every time), which keeps the
-                # per-cell sample counts near the paper's distribution.
-                stops = [s for s in stops if rng.random() < 0.6]
-            else:
-                stops = [
-                    session.anchor.offset(
-                        float(rng.uniform(-1500.0, 1500.0)),
-                        float(rng.uniform(-1500.0, 1500.0)),
-                    )
-                    for _ in range(session.n_stops)
-                ]
-            log = _collect_session(
-                env, server, volunteer, stops, session.day, options, rng
-            )
-            build.n_sessions += 1
-            build.n_logs_bytes += len(log)
-            store.extend(
-                crawl_config_samples(
-                    log, observed_day=session.day, round_index=round_index
+@dataclass(frozen=True)
+class D2SessionResult:
+    """What one collection session contributes to the build."""
+
+    unit_id: int
+    n_log_bytes: int
+    samples: tuple[ConfigSample, ...]
+
+
+@dataclass(frozen=True)
+class D2SessionUnit(WorkUnit):
+    """One volunteer session: collect a diag log and crawl it.
+
+    Self-seeded from ``(options.seed, 0xD2, volunteer_id, round_index)``
+    exactly as the historical serial loop was, so the session's samples
+    do not depend on which process executes it.
+    """
+
+    unit_id: int
+    options: D2Options
+    volunteer_index: int
+    round_index: int
+
+    def run(self) -> D2SessionResult:
+        context = d2_context(self.options)
+        volunteer = context.volunteers[self.volunteer_index]
+        session = volunteer.sessions[self.round_index]
+        options = self.options
+        rng = np.random.default_rng(
+            (options.seed, 0xD2, volunteer.volunteer_id, self.round_index)
+        )
+        if volunteer.dense:
+            partial = volunteer.city.name in ("Chicago", "LA")
+            stops = _dense_stops(volunteer.city, partial)
+            # Each round covers a subset of the grid (real drives do
+            # not retrace every road every time), which keeps the
+            # per-cell sample counts near the paper's distribution.
+            stops = [s for s in stops if rng.random() < 0.6]
+        else:
+            stops = [
+                session.anchor.offset(
+                    float(rng.uniform(-1500.0, 1500.0)),
+                    float(rng.uniform(-1500.0, 1500.0)),
+                )
+                for _ in range(session.n_stops)
+            ]
+        log = _collect_session(
+            context.env, context.server, volunteer, stops, session.day, options, rng
+        )
+        samples = crawl_config_samples(
+            log, observed_day=session.day, round_index=self.round_index
+        )
+        return D2SessionResult(
+            unit_id=self.unit_id, n_log_bytes=len(log), samples=tuple(samples)
+        )
+
+
+def d2_work_units(options: D2Options) -> list[D2SessionUnit]:
+    """Every session of the build, in canonical (serial) order."""
+    context = d2_context(options)
+    units: list[D2SessionUnit] = []
+    for volunteer_index, volunteer in enumerate(context.volunteers):
+        for round_index in range(len(volunteer.sessions)):
+            units.append(
+                D2SessionUnit(
+                    unit_id=len(units),
+                    options=options,
+                    volunteer_index=volunteer_index,
+                    round_index=round_index,
                 )
             )
+    return units
+
+
+def build_d2(
+    options: D2Options = D2Options(), backend: ExecutionBackend | None = None
+) -> D2Build:
+    """Build dataset D2 end-to-end through the device-side pipeline.
+
+    Args:
+        options: Build options; ``options.workers`` picks the default
+            backend (serial at 1, a process pool above).
+        backend: Explicit :class:`~repro.pipeline.ExecutionBackend`,
+            overriding ``options.workers``.
+    """
+    context = d2_context(options)
+    store = ConfigSampleStore()
+    build = D2Build(
+        store=store, plan=context.plan, env=context.env, server=context.server
+    )
+    units = d2_work_units(options)
+    runner = resolve_backend(options.workers, backend)
+    for result in runner.run(units):
+        build.n_sessions += 1
+        build.n_logs_bytes += result.n_log_bytes
+        store.extend(result.samples)
     return build

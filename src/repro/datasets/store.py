@@ -3,11 +3,22 @@
 The stores are deliberately simple append-and-scan containers: the
 paper's analyses are all full-population statistics (distributions,
 diversity indices, CDFs), so the useful operations are filtering and
-grouping, not point lookup.
+grouping, not point lookup.  Two concessions to scale:
+
+* ``ConfigSampleStore`` keeps a lazy per-parameter index so the hot
+  per-parameter reads (``unique_values``, ``samples_per_cell``,
+  ``parameters``) stop rescanning millions of rows on every call; the
+  index is invalidated on any mutation and rebuilt on demand.
+* ``ingest`` consumes an *iterator* of row batches, which is how the
+  pipelined builders stream a harvest in without ever materializing
+  the full archive, and ``save`` writes atomically (temp file +
+  ``os.replace``) so a crashed build never leaves a torn JSONL behind.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from collections import defaultdict
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
@@ -15,23 +26,73 @@ from typing import Callable, Iterable, Iterator
 from repro.datasets.records import ConfigSample, HandoffInstance
 
 
+def _atomic_write_jsonl(path: str | Path, records: Iterable) -> None:
+    """Write ``record.to_json()`` lines to ``path`` atomically.
+
+    The temp file lives in the target's directory so ``os.replace`` is
+    a same-filesystem rename: readers see either the old file or the
+    complete new one, never a partial write.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            for record in records:
+                f.write(record.to_json())
+                f.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 class ConfigSampleStore:
     """All configuration samples of one D2 build."""
 
     def __init__(self, samples: Iterable[ConfigSample] = ()):
         self._samples: list[ConfigSample] = list(samples)
+        self._by_parameter: dict[str, list[ConfigSample]] | None = None
 
     def add(self, sample: ConfigSample) -> None:
         self._samples.append(sample)
+        self._by_parameter = None
 
     def extend(self, samples: Iterable[ConfigSample]) -> None:
         self._samples.extend(samples)
+        self._by_parameter = None
+
+    def ingest(self, batches: Iterable[Iterable[ConfigSample]]) -> int:
+        """Stream batches of samples in (one batch per work unit).
+
+        Returns the number of samples added.  The batches iterator is
+        consumed lazily, so a pipelined build's harvest flows straight
+        into the store as units complete.
+        """
+        before = len(self._samples)
+        for batch in batches:
+            self._samples.extend(batch)
+        self._by_parameter = None
+        return len(self._samples) - before
 
     def __len__(self) -> int:
         return len(self._samples)
 
     def __iter__(self) -> Iterator[ConfigSample]:
         return iter(self._samples)
+
+    def _parameter_index(self) -> dict[str, list[ConfigSample]]:
+        """Samples grouped by parameter name (rebuilt after mutations)."""
+        if self._by_parameter is None:
+            index: dict[str, list[ConfigSample]] = defaultdict(list)
+            for sample in self._samples:
+                index[sample.parameter].append(sample)
+            self._by_parameter = dict(index)
+        return self._by_parameter
 
     def filter(self, predicate: Callable[[ConfigSample], bool]) -> "ConfigSampleStore":
         """A new store holding only samples matching ``predicate``."""
@@ -44,7 +105,7 @@ class ConfigSampleStore:
         return self.filter(lambda s: s.rat == rat)
 
     def for_parameter(self, parameter: str) -> "ConfigSampleStore":
-        return self.filter(lambda s: s.parameter == parameter)
+        return ConfigSampleStore(self._parameter_index().get(parameter, ()))
 
     def for_city(self, city: str) -> "ConfigSampleStore":
         return self.filter(lambda s: s.city == city)
@@ -55,7 +116,7 @@ class ConfigSampleStore:
 
     def parameters(self) -> list[str]:
         """Distinct parameter names, sorted."""
-        return sorted({s.parameter for s in self._samples})
+        return sorted(self._parameter_index())
 
     def unique_values(
         self, parameter: str, deduplicate_cells: bool = True
@@ -66,14 +127,11 @@ class ConfigSampleStore:
         samples, so as not to tip distributions in favor of cells with
         many same samples"), each (cell, value) pair counts once.
         """
+        samples = self._parameter_index().get(parameter, ())
         if deduplicate_cells:
-            seen = {
-                (s.carrier, s.gci, s.value_key): s.value_key
-                for s in self._samples
-                if s.parameter == parameter
-            }
+            seen = {(s.carrier, s.gci, s.value_key): s.value_key for s in samples}
             return list(seen.values())
-        return [s.value_key for s in self._samples if s.parameter == parameter]
+        return [s.value_key for s in samples]
 
     def group_by(
         self, key: Callable[[ConfigSample], object]
@@ -87,19 +145,15 @@ class ConfigSampleStore:
     def samples_per_cell(self, parameter: str) -> dict[tuple[str, int], int]:
         """How many samples each cell contributed for one parameter."""
         counts: dict[tuple[str, int], int] = defaultdict(int)
-        for s in self._samples:
-            if s.parameter == parameter:
-                counts[(s.carrier, s.gci)] += 1
+        for s in self._parameter_index().get(parameter, ()):
+            counts[(s.carrier, s.gci)] += 1
         return dict(counts)
 
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the store as JSONL."""
-        with open(path, "w", encoding="utf-8") as f:
-            for sample in self._samples:
-                f.write(sample.to_json())
-                f.write("\n")
+        """Write the store as JSONL (atomically: temp file + rename)."""
+        _atomic_write_jsonl(path, self._samples)
 
     @classmethod
     def load(cls, path: str | Path) -> "ConfigSampleStore":
@@ -125,6 +179,13 @@ class HandoffInstanceStore:
     def extend(self, instances: Iterable[HandoffInstance]) -> None:
         self._instances.extend(instances)
 
+    def ingest(self, batches: Iterable[Iterable[HandoffInstance]]) -> int:
+        """Stream batches of instances in (one batch per work unit)."""
+        before = len(self._instances)
+        for batch in batches:
+            self._instances.extend(batch)
+        return len(self._instances) - before
+
     def __len__(self) -> int:
         return len(self._instances)
 
@@ -149,10 +210,8 @@ class HandoffInstanceStore:
         return self.filter(lambda i: i.decisive_event == event)
 
     def save(self, path: str | Path) -> None:
-        with open(path, "w", encoding="utf-8") as f:
-            for instance in self._instances:
-                f.write(instance.to_json())
-                f.write("\n")
+        """Write the store as JSONL (atomically: temp file + rename)."""
+        _atomic_write_jsonl(path, self._instances)
 
     @classmethod
     def load(cls, path: str | Path) -> "HandoffInstanceStore":

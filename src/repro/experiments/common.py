@@ -9,12 +9,17 @@ every driver and benchmark.  Scale knobs:
 * ``default_d2()`` — a mid-scale D2 (thousands of cells, ~1M samples).
 * ``paper_scale_d2_options()`` — options approaching the paper's
   32k-cell scale for users with minutes to spare.
+
+Both default builds run on the work-unit pipeline; pass ``workers=N``
+(or set ``REPRO_WORKERS``) to fan sessions/drives out over a process
+pool.  Worker count never changes the datasets, only the build time.
 """
 
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 
 from repro.datasets.d1 import D1Build, D1Options, build_d1
 from repro.datasets.d2 import D2Build, D2Options, build_d2
@@ -94,26 +99,37 @@ def paper_scale_d2_options() -> D2Options:
     )
 
 
+def default_workers() -> int:
+    """Default build parallelism: the ``REPRO_WORKERS`` env var, or 1."""
+    try:
+        return max(int(os.environ.get("REPRO_WORKERS", "1")), 1)
+    except ValueError:
+        return 1
+
+
+def default_d1(scale: float = 1.0, workers: int | None = None) -> D1Build:
+    """The shared default D1 build (cached per process).
+
+    ``workers`` only changes build time, never the dataset (parallel
+    builds are bit-identical to serial ones).
+    """
+    return _default_d1_cached(scale, workers if workers is not None else default_workers())
+
+
 @functools.lru_cache(maxsize=2)
-def default_d1(scale: float = 1.0) -> D1Build:
-    """The shared default D1 build (cached per process)."""
-    options = D1Options(
-        seed=DEFAULT_D1_OPTIONS.seed,
-        config_seed=DEFAULT_D1_OPTIONS.config_seed,
-        scenario=DEFAULT_D1_OPTIONS.scenario,
-        active_drives=DEFAULT_D1_OPTIONS.active_drives,
-        idle_drives=DEFAULT_D1_OPTIONS.idle_drives,
-        drive_duration_s=DEFAULT_D1_OPTIONS.drive_duration_s,
-        scale=scale,
-        carriers=DEFAULT_D1_OPTIONS.carriers,
-    )
+def _default_d1_cached(scale: float, workers: int) -> D1Build:
+    options = replace(DEFAULT_D1_OPTIONS, scale=scale, workers=workers)
     return build_d1(options)
 
 
-@functools.lru_cache(maxsize=1)
-def default_d2() -> D2Build:
+def default_d2(workers: int | None = None) -> D2Build:
     """The shared default D2 build (cached per process)."""
-    return build_d2(DEFAULT_D2_OPTIONS)
+    return _default_d2_cached(workers if workers is not None else default_workers())
+
+
+@functools.lru_cache(maxsize=1)
+def _default_d2_cached(workers: int) -> D2Build:
+    return build_d2(replace(DEFAULT_D2_OPTIONS, workers=workers))
 
 
 @functools.lru_cache(maxsize=1)

@@ -1,0 +1,39 @@
+"""Per-process context cache for work units.
+
+Work units are self-contained, but many units of one build share
+expensive read-only context — the world deployment behind a D2 build,
+the drive scenario behind a D1 build.  Shipping that context inside
+every unit would dominate the pickling cost, so units instead carry the
+*recipe* (seeds/options) and rebuild the context once per process
+through this cache.
+
+The cache is deliberately a plain module-level dict rather than
+``functools.lru_cache`` on the builders: the key is chosen by the
+caller (only the fields that actually shape the context), and the cache
+can be cleared explicitly in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+_CACHE: dict[Hashable, object] = {}
+
+
+def process_cached(key: Hashable, factory: Callable[[], T]) -> T:
+    """``factory()``'s result, computed once per process per ``key``.
+
+    ``factory`` must be deterministic in ``key``: two processes calling
+    with the same key must end up with equivalent context, or parallel
+    builds would diverge from serial ones.
+    """
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]  # type: ignore[return-value]
+
+
+def clear_process_cache() -> None:
+    """Drop every cached context (test isolation / memory pressure)."""
+    _CACHE.clear()

@@ -23,11 +23,40 @@ from repro.cellnet.deployment import (
 )
 from repro.cellnet.geo import Point
 from repro.cellnet.world import RadioEnvironment
+from repro.pipeline.context import process_cached
 from repro.rrc.broadcast import ConfigServer
 from repro.simulate.mobility import Trajectory, grid_drive, highway_drive
 
 #: The Type-II cities of the paper (Section 4 experimental settings).
 TYPE2_CITIES = ("Chicago", "Indianapolis", "Lafayette")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The picklable recipe of a :func:`drive_scenario` world.
+
+    Work units carry the spec instead of the scenario itself: a worker
+    process rebuilds (and caches) the identical world from the recipe,
+    so one scenario crosses process boundaries as a few ints and a
+    string.
+    """
+
+    name: str = "indianapolis"
+    seed: int = 7
+    config_seed: int = 2018
+    with_highway: bool = False
+
+    def build(self) -> "DriveScenario":
+        """The scenario this spec describes, cached per process."""
+        return process_cached(
+            ("drive-scenario", self),
+            lambda: drive_scenario(
+                self.name,
+                seed=self.seed,
+                config_seed=self.config_seed,
+                with_highway=self.with_highway,
+            ),
+        )
 
 
 @dataclass
@@ -40,6 +69,9 @@ class DriveScenario:
     env: RadioEnvironment
     server: ConfigServer
     highway_endpoints: tuple[Point, Point] | None = None
+    #: Recipe to rebuild this scenario in another process; ``None`` for
+    #: hand-assembled scenarios, which then only run on serial backends.
+    spec: ScenarioSpec | None = None
 
     def urban_trajectory(
         self, rng: np.random.Generator, city_name: str | None = None,
@@ -107,4 +139,7 @@ def drive_scenario(
         env=env,
         server=server,
         highway_endpoints=endpoints,
+        spec=ScenarioSpec(
+            name=name, seed=seed, config_seed=config_seed, with_highway=with_highway
+        ),
     )

@@ -28,3 +28,30 @@ def test_unknown_experiment(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_build_d2_writes_jsonl(tmp_path, capsys):
+    out = tmp_path / "d2.jsonl"
+    assert main([
+        "build-d2", "--volunteers", "2", "--no-dense",
+        "--workers", "2", "--out", str(out),
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "workers=2" in err
+    from repro.datasets.store import ConfigSampleStore
+
+    assert len(ConfigSampleStore.load(out)) > 0
+
+
+def test_build_d1_writes_jsonl(tmp_path, capsys):
+    out = tmp_path / "d1.jsonl"
+    assert main([
+        "build-d1", "--scenario", "lafayette", "--carriers", "A",
+        "--active-drives", "1", "--idle-drives", "1", "--duration", "120",
+        "--highway-drives", "0", "--out", str(out),
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "D1:" in err
+    from repro.datasets.store import HandoffInstanceStore
+
+    HandoffInstanceStore.load(out)  # must parse back

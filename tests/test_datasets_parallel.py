@@ -1,0 +1,59 @@
+"""Parallel-build determinism: worker count must never change a dataset.
+
+The acceptance bar for the pipeline refactor: a process-pool build is
+*byte-identical* (same serialized JSONL, in the same order) to the
+serial build for the same options/seed.
+"""
+
+from dataclasses import replace
+
+from repro.datasets.d1 import D1Options, build_d1
+from repro.datasets.d2 import D2Options, build_d2
+from repro.pipeline import ProcessPoolBackend
+
+TINY_D2 = D2Options(n_volunteers=2, include_dense=False, workers=1)
+TINY_D1 = D1Options(
+    active_drives=1,
+    idle_drives=1,
+    drive_duration_s=180.0,
+    carriers=("A",),
+    scenario="lafayette",
+    highway_drives=0,
+    workers=1,
+)
+
+
+def _jsonl(store) -> str:
+    return "\n".join(record.to_json() for record in store)
+
+
+def test_build_d2_parallel_parity():
+    serial = build_d2(TINY_D2)
+    pooled = build_d2(replace(TINY_D2, workers=4))
+    assert pooled.n_sessions == serial.n_sessions
+    assert pooled.n_logs_bytes == serial.n_logs_bytes
+    assert _jsonl(pooled.store) == _jsonl(serial.store)
+
+
+def test_build_d2_explicit_backend_overrides_workers():
+    serial = build_d2(TINY_D2)
+    pooled = build_d2(TINY_D2, backend=ProcessPoolBackend(workers=2, chunk_size=1))
+    assert _jsonl(pooled.store) == _jsonl(serial.store)
+
+
+def test_build_d1_parallel_parity():
+    serial = build_d1(TINY_D1)
+    pooled = build_d1(replace(TINY_D1, workers=4))
+    assert len(pooled.drives) == len(serial.drives)
+    assert [d.carrier for d in pooled.drives] == [d.carrier for d in serial.drives]
+    assert [d.diag_log for d in pooled.drives] == [d.diag_log for d in serial.drives]
+    assert _jsonl(pooled.store) == _jsonl(serial.store)
+
+
+def test_save_files_identical_across_worker_counts(tmp_path):
+    """The end-to-end acceptance check: identical JSONL files on disk."""
+    serial_path = tmp_path / "serial.jsonl"
+    pooled_path = tmp_path / "pooled.jsonl"
+    build_d2(TINY_D2).store.save(serial_path)
+    build_d2(replace(TINY_D2, workers=2)).store.save(pooled_path)
+    assert serial_path.read_bytes() == pooled_path.read_bytes()

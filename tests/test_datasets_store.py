@@ -99,3 +99,123 @@ def test_handoff_store_save_load(tmp_path):
     loaded = HandoffInstanceStore.load(path)
     assert len(loaded) == 2
     assert len(loaded.idle()) == 1
+
+
+# -- atomic persistence -------------------------------------------------------
+
+@pytest.mark.parametrize("store_cls,record", [
+    (ConfigSampleStore, _sample()),
+    (HandoffInstanceStore, _instance()),
+])
+def test_save_load_roundtrip_including_empty(tmp_path, store_cls, record):
+    empty_path = tmp_path / "empty.jsonl"
+    store_cls().save(empty_path)
+    assert empty_path.exists()
+    assert len(store_cls.load(empty_path)) == 0
+    full_path = tmp_path / "full.jsonl"
+    store = store_cls([record])
+    store.save(full_path)
+    loaded = store_cls.load(full_path)
+    assert [r.to_json() for r in loaded] == [r.to_json() for r in store]
+
+
+def test_save_replaces_atomically_and_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "d2.jsonl"
+    path.write_text("corrupt half-written garbage\n")
+    store = ConfigSampleStore([_sample(), _sample(gci=2)])
+    store.save(path)
+    assert len(ConfigSampleStore.load(path)) == 2
+    assert [p.name for p in tmp_path.iterdir()] == ["d2.jsonl"]
+
+
+def test_failed_save_preserves_existing_file(tmp_path):
+    path = tmp_path / "d2.jsonl"
+    ConfigSampleStore([_sample()]).save(path)
+    before = path.read_bytes()
+
+    class Exploding:
+        def to_json(self):
+            raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        ConfigSampleStore([Exploding()]).save(path)  # type: ignore[list-item]
+    assert path.read_bytes() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["d2.jsonl"]
+
+
+# -- per-parameter index ------------------------------------------------------
+
+def _naive_store_views(store):
+    """Recompute the per-parameter reads by scanning, index-free."""
+    samples = list(store)
+    parameters = sorted({s.parameter for s in samples})
+    unique = {
+        p: list({
+            (s.carrier, s.gci, s.value_key): s.value_key
+            for s in samples if s.parameter == p
+        }.values())
+        for p in parameters
+    }
+    per_cell = {}
+    for p in parameters:
+        counts = {}
+        for s in samples:
+            if s.parameter == p:
+                counts[(s.carrier, s.gci)] = counts.get((s.carrier, s.gci), 0) + 1
+        per_cell[p] = counts
+    return parameters, unique, per_cell
+
+
+def test_parameter_index_matches_naive_scan():
+    store = ConfigSampleStore([
+        _sample(gci=1, value=4.0),
+        _sample(gci=1, value=4.0, day=9.0),
+        _sample(gci=1, value=2.0, day=20.0),
+        _sample(gci=2, value=4.0),
+        _sample(gci=2, parameter="p_max", value=23),
+        _sample(carrier="T", gci=1, parameter="p_max", value=21),
+    ])
+    parameters, unique, per_cell = _naive_store_views(store)
+    assert store.parameters() == parameters
+    for p in parameters:
+        assert sorted(map(str, store.unique_values(p))) == sorted(map(str, unique[p]))
+        assert store.samples_per_cell(p) == per_cell[p]
+        assert len(store.for_parameter(p)) == sum(per_cell[p].values())
+
+
+def test_parameter_index_invalidated_on_mutation():
+    store = ConfigSampleStore([_sample(gci=1)])
+    assert store.parameters() == ["q_hyst"]  # builds the index
+    store.add(_sample(gci=2, parameter="p_max", value=23))
+    assert store.parameters() == ["p_max", "q_hyst"]
+    assert store.samples_per_cell("p_max") == {("A", 2): 1}
+    store.extend([_sample(gci=3, parameter="p_max", value=20)])
+    assert store.samples_per_cell("p_max") == {("A", 2): 1, ("A", 3): 1}
+    store.ingest([[_sample(gci=4, parameter="p_max", value=18)]])
+    assert store.samples_per_cell("p_max") == {
+        ("A", 2): 1, ("A", 3): 1, ("A", 4): 1,
+    }
+
+
+# -- iterator ingest ----------------------------------------------------------
+
+def test_ingest_streams_batches_lazily():
+    store = ConfigSampleStore()
+    seen = []
+
+    def batches():
+        for gci in (1, 2):
+            batch = [_sample(gci=gci)]
+            seen.append(len(store))  # store grows between batches
+            yield batch
+
+    added = store.ingest(batches())
+    assert added == 2
+    assert len(store) == 2
+    assert seen == [0, 1]
+
+
+def test_handoff_ingest_counts():
+    store = HandoffInstanceStore()
+    assert store.ingest([[_instance()], [], [_instance(kind="idle")]]) == 2
+    assert len(store.active()) == 1 and len(store.idle()) == 1
