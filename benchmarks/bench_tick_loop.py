@@ -1,0 +1,126 @@
+"""Tick-loop microbenchmark and perf-regression gate.
+
+Times a ten-minute simulated drive (the paper's Type-II unit of work)
+through both UE measurement paths — the scalar reference loop and the
+array-resident vectorized path — asserts they produce bit-identical
+drives, and reports ticks per second.
+
+Usage:
+
+    python benchmarks/bench_tick_loop.py                 # print timings
+    python benchmarks/bench_tick_loop.py --out BENCH_TICKLOOP.json
+    python benchmarks/bench_tick_loop.py --duration 120 \
+        --check BENCH_TICKLOOP.json --threshold 2.0      # CI gate
+
+``--check`` compares the measured vectorized throughput against the
+committed baseline and exits non-zero when it has regressed by more
+than ``--threshold`` (generous, to absorb machine variance; the
+bit-parity assertion is exact either way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulate.runner import DriveResult, DriveSimulator
+from repro.simulate.scenarios import drive_scenario
+from repro.simulate.traffic import Speedtest
+
+#: Ticks/s of the pre-vectorization scalar tick loop on the reference
+#: machine (same drive as below, measured at the commit introducing this
+#: benchmark).  The acceptance bar for the vectorized path is >= 3x this.
+PRE_PR_TICKS_PER_S = 1000.0
+
+
+def run_drive(vectorized: bool, duration_s: float, seed: int) -> tuple[DriveResult, float]:
+    """One timed Speedtest drive through the chosen measurement path."""
+    scenario = drive_scenario("lafayette", seed=7, config_seed=2018)
+    sim = DriveSimulator(
+        scenario.env,
+        scenario.server,
+        "A",
+        seed=seed,
+        vectorized=vectorized,
+        config_lint=False,
+    )
+    trajectory = scenario.urban_trajectory(
+        np.random.default_rng(99), duration_s=duration_s
+    )
+    start = time.perf_counter()
+    result = sim.run(trajectory, Speedtest())
+    return result, time.perf_counter() - start
+
+
+def measure(duration_s: float, seed: int) -> dict:
+    """Benchmark both paths once and assert drive-level bit parity."""
+    scalar, scalar_s = run_drive(False, duration_s, seed)
+    vector, vector_s = run_drive(True, duration_s, seed)
+    if scalar.samples != vector.samples or scalar.diag_log != vector.diag_log:
+        raise AssertionError(
+            "vectorized drive diverged from the scalar reference "
+            "(samples or diag log differ)"
+        )
+    ticks = len(scalar.samples)
+    return {
+        "scenario": "lafayette",
+        "carrier": "A",
+        "duration_s": duration_s,
+        "seed": seed,
+        "ticks": ticks,
+        "handoffs": len(scalar.handoffs),
+        "pre_pr_ticks_per_s": PRE_PR_TICKS_PER_S,
+        "scalar_ticks_per_s": round(ticks / scalar_s, 1),
+        "vectorized_ticks_per_s": round(ticks / vector_s, 1),
+        "speedup_vs_scalar": round(scalar_s / vector_s, 2),
+        "speedup_vs_pre_pr": round(ticks / vector_s / PRE_PR_TICKS_PER_S, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=600.0,
+                        help="simulated drive length in seconds (default 600)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the result JSON here (the committed baseline)")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="compare against a committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="max tolerated slowdown vs the baseline (default 2.0)")
+    args = parser.parse_args(argv)
+
+    result = measure(args.duration, args.seed)
+    print(json.dumps(result, indent=2))
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"baseline written to {args.out}", file=sys.stderr)
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        floor = baseline["vectorized_ticks_per_s"] / args.threshold
+        measured = result["vectorized_ticks_per_s"]
+        if measured < floor:
+            print(
+                f"FAIL: vectorized path at {measured:.0f} ticks/s, below "
+                f"{floor:.0f} (baseline {baseline['vectorized_ticks_per_s']:.0f} "
+                f"/ threshold {args.threshold})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: {measured:.0f} ticks/s >= {floor:.0f} "
+            f"(baseline / {args.threshold})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

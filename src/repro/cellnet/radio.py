@@ -25,7 +25,8 @@ filtering, mirroring where that happens in a real modem.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -256,7 +257,15 @@ class RadioModel:
 
 @dataclass
 class PreparedCells:
-    """Static per-cell arrays for repeated vectorized RSRP queries."""
+    """Static per-cell arrays for repeated vectorized RSRP queries.
+
+    Beyond the propagation inputs, a prepared set carries the derived
+    structures every per-tick consumer needs — the cell-id index, the
+    (RAT, channel) interference groups, and RAT/intra-frequency masks.
+    All are built lazily and cached: one snapshot-cache entry serves
+    thousands of ticks, so the cost amortizes to zero while cheap
+    one-shot users (``rsrp_many``) never pay it.
+    """
 
     cells: list[Cell]
     xs: np.ndarray
@@ -266,6 +275,53 @@ class PreparedCells:
     kx: np.ndarray
     ky: np.ndarray
     phase: np.ndarray
+    _rat_masks: dict = field(default_factory=dict, repr=False)
+    _intra_masks: dict = field(default_factory=dict, repr=False)
+
+    @cached_property
+    def cell_ids(self) -> list:
+        """Cell identities aligned with ``cells``."""
+        return [c.cell_id for c in self.cells]
+
+    @cached_property
+    def index(self) -> dict:
+        """cell_id -> position map over ``cells``."""
+        return {cid: i for i, cid in enumerate(self.cell_ids)}
+
+    @cached_property
+    def gci(self) -> np.ndarray:
+        """Global cell identities aligned with ``cells`` (sort tiebreak)."""
+        return np.array([c.cell_id.gci for c in self.cells], dtype=np.int64)
+
+    @cached_property
+    def channel_groups(self) -> tuple[np.ndarray, int]:
+        """(group index per cell, group count) over (RAT, channel)."""
+        groups: dict = {}
+        group_index = np.empty(len(self.cells), dtype=int)
+        for i, cell in enumerate(self.cells):
+            key = (cell.rat, cell.channel)
+            group_index[i] = groups.setdefault(key, len(groups))
+        return group_index, len(groups)
+
+    def rat_mask(self, rat: RAT) -> np.ndarray:
+        """Boolean mask of cells whose RAT is ``rat``."""
+        mask = self._rat_masks.get(rat)
+        if mask is None:
+            mask = np.array([c.rat is rat for c in self.cells], dtype=bool)
+            self._rat_masks[rat] = mask
+        return mask
+
+    def intra_mask(self, rat: RAT, channel: int) -> np.ndarray:
+        """Boolean mask of cells co-channel with a (rat, channel) serving."""
+        key = (rat, channel)
+        mask = self._intra_masks.get(key)
+        if mask is None:
+            mask = np.array(
+                [c.rat is rat and c.channel == channel for c in self.cells],
+                dtype=bool,
+            )
+            self._intra_masks[key] = mask
+        return mask
 
 
 class RadioSnapshot:
@@ -277,76 +333,75 @@ class RadioSnapshot:
     same co-channel power sums.
     """
 
-    def __init__(self, model: RadioModel, cells: list[Cell], rsrp: np.ndarray, location: Point):
+    def __init__(self, model: RadioModel, prepared: PreparedCells, rsrp: np.ndarray,
+                 location: Point):
         self._model = model
-        self.cells = cells
+        self.prepared = prepared
         self.location = location
         self._rsrp = rsrp
-        self._index = {cell.cell_id: i for i, cell in enumerate(cells)}
-        self._channel_power: dict | None = None
+        #: Lazily computed (rsrq, sinr, power_mw, own_totals_mw) bundle.
+        self._metrics: tuple | None = None
+
+    @property
+    def cells(self) -> list[Cell]:
+        """The snapshot's audible cells (shared with the prepared set)."""
+        return self.prepared.cells
 
     def __contains__(self, cell: Cell) -> bool:
-        return cell.cell_id in self._index
+        return cell.cell_id in self.prepared.index
 
     def rsrp(self, cell: Cell) -> float:
         """RSRP of one snapshot cell (KeyError if not audible)."""
-        return float(self._rsrp[self._index[cell.cell_id]])
+        return float(self._rsrp[self.prepared.index[cell.cell_id]])
 
     @property
     def rsrp_array(self) -> np.ndarray:
         """RSRP of every snapshot cell, aligned with ``cells``."""
         return self._rsrp
 
+    def _compute_metrics(self) -> tuple:
+        if self._metrics is None:
+            power_mw = _dbm_to_mw(self._rsrp)
+            group_index, n_groups = self.prepared.channel_groups
+            totals = np.zeros(n_groups)
+            np.add.at(totals, group_index, power_mw)
+            noise_mw = float(_dbm_to_mw(NOISE_PER_PRB_DBM))
+            own_totals = totals[group_index]
+            interference = np.maximum(own_totals - power_mw, 0.0)
+            sinr = self._rsrp - 10.0 * np.log10(interference + noise_mw)
+            rsrq = self._rsrp - 10.0 * np.log10(12.0 * (own_totals + noise_mw))
+            rsrq = np.clip(rsrq, -19.5, -3.0)
+            self._metrics = (rsrq, sinr, power_mw, own_totals)
+        return self._metrics
+
     def metric_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(rsrp, rsrq, sinr) arrays over all snapshot cells, vectorized.
 
         Interference for cell i is the co-channel power sum of the other
-        snapshot cells on i's (RAT, channel) minus i's own power.
+        snapshot cells on i's (RAT, channel) minus i's own power.  The
+        arrays are computed once per snapshot and cached.
         """
         if not self.cells:
             empty = np.zeros(0)
             return empty, empty, empty
-        power_mw = _dbm_to_mw(self._rsrp)
-        groups: dict = {}
-        group_index = np.empty(len(self.cells), dtype=int)
-        for i, cell in enumerate(self.cells):
-            key = (cell.rat, cell.channel)
-            group_index[i] = groups.setdefault(key, len(groups))
-        totals = np.zeros(len(groups))
-        np.add.at(totals, group_index, power_mw)
-        noise_mw = float(_dbm_to_mw(NOISE_PER_PRB_DBM))
-        own_totals = totals[group_index]
-        interference = np.maximum(own_totals - power_mw, 0.0)
-        sinr = self._rsrp - 10.0 * np.log10(interference + noise_mw)
-        rsrq = self._rsrp - 10.0 * np.log10(12.0 * (own_totals + noise_mw))
-        rsrq = np.clip(rsrq, -19.5, -3.0)
+        rsrq, sinr, _, _ = self._compute_metrics()
         return self._rsrp, rsrq, sinr
-
-    def _co_channel_mw(self) -> dict:
-        if self._channel_power is None:
-            power_mw = _dbm_to_mw(self._rsrp)
-            totals: dict = {}
-            for i, cell in enumerate(self.cells):
-                key = (cell.rat, cell.channel)
-                totals[key] = totals.get(key, 0.0) + float(power_mw[i])
-            self._channel_power = totals
-        return self._channel_power
 
     def measure(self, cell: Cell) -> Measurement:
         """Full measurement of one snapshot cell."""
-        i = self._index[cell.cell_id]
+        i = self.prepared.index[cell.cell_id]
         rsrp = float(self._rsrp[i])
-        total_mw = self._co_channel_mw()[(cell.rat, cell.channel)]
-        interference_mw = max(total_mw - float(_dbm_to_mw(rsrp)), 0.0)
+        _, _, power_mw, own_totals = self._compute_metrics()
+        interference_mw = max(float(own_totals[i]) - float(power_mw[i]), 0.0)
         return self._model._finish_measurement(cell, rsrp, interference_mw)
 
     def strongest(self, rat: RAT | None = None) -> Cell | None:
         """Strongest cell in the snapshot, optionally of one RAT."""
-        best = None
-        best_value = -math.inf
-        for i, cell in enumerate(self.cells):
-            if rat is not None and cell.rat is not rat:
-                continue
-            if self._rsrp[i] > best_value:
-                best, best_value = cell, float(self._rsrp[i])
-        return best
+        if not self.cells:
+            return None
+        if rat is None:
+            return self.cells[int(np.argmax(self._rsrp))]
+        candidates = np.flatnonzero(self.prepared.rat_mask(rat))
+        if not candidates.size:
+            return None
+        return self.cells[int(candidates[np.argmax(self._rsrp[candidates])])]

@@ -10,7 +10,7 @@ simulations behind datasets D1/D2.
 from __future__ import annotations
 
 import math
-from collections import defaultdict
+from collections import OrderedDict
 
 from repro.cellnet.cell import Cell, CellId, CellRegistry
 from repro.cellnet.deployment import DeploymentPlan
@@ -24,9 +24,9 @@ class _SpatialIndex:
 
     def __init__(self, cells: list[Cell], cell_size_m: float = 2000.0):
         self._size = cell_size_m
-        self._buckets: dict[tuple[int, int], list[Cell]] = defaultdict(list)
+        self._buckets: dict[tuple[int, int], list[Cell]] = {}
         for cell in cells:
-            self._buckets[self._key(cell.location)].append(cell)
+            self._buckets.setdefault(self._key(cell.location), []).append(cell)
 
     def _key(self, p: Point) -> tuple[int, int]:
         return (math.floor(p.x / self._size), math.floor(p.y / self._size))
@@ -66,10 +66,12 @@ class RadioEnvironment:
         self.radio = radio or RadioModel(seed=1)
         self.audible_radius_m = audible_radius_m
         self._index = _SpatialIndex(list(plan.registry))
-        self._snapshot_cache: dict = {}
-        self._co_channel: dict[tuple[RAT, int], list[Cell]] = defaultdict(list)
-        for cell in plan.registry:
-            self._co_channel[(cell.rat, cell.channel)].append(cell)
+        #: Prepared-neighborhood LRU: hits move to the back, inserts past
+        #: ``snapshot_cache_size`` evict the least recently used entry, so
+        #: long multi-city sweeps keep their working set warm instead of
+        #: periodically re-preparing every neighborhood.
+        self.snapshot_cache_size = 4096
+        self._snapshot_cache: OrderedDict = OrderedDict()
 
     @property
     def registry(self) -> CellRegistry:
@@ -96,13 +98,21 @@ class RadioEnvironment:
         return sorted(cells, key=lambda c: c.cell_id)
 
     def co_channel_interferers(self, cell: Cell, location: Point) -> list[Cell]:
-        """Other same-channel cells audible at ``location``."""
-        return [
+        """Other same-channel cells audible at ``location``.
+
+        Served from the spatial index (which already bounds candidates by
+        the audible radius) rather than scanning the deployment's full
+        per-(RAT, channel) cell list; sorted by cell id for determinism.
+        """
+        interferers = [
             c
-            for c in self._co_channel[(cell.rat, cell.channel)]
-            if c.cell_id != cell.cell_id
-            and c.location.distance_to(location) <= self.audible_radius_m
+            for c in self._index.near(location, self.audible_radius_m)
+            if c.rat is cell.rat
+            and c.channel == cell.channel
+            and c.cell_id != cell.cell_id
         ]
+        interferers.sort(key=lambda c: c.cell_id)
+        return interferers
 
     def measure(self, cell: Cell, location: Point) -> Measurement:
         """Measure one cell at a location, with co-channel interference."""
@@ -153,15 +163,18 @@ class RadioEnvironment:
         # The extra 200 m guard band keeps the cached list a superset of
         # the exact query anywhere inside the grid square.
         key = (round(location.x / 200.0), round(location.y / 200.0), carrier, radius_m)
-        prepared = self._snapshot_cache.get(key)
+        cache = self._snapshot_cache
+        prepared = cache.get(key)
         if prepared is None:
             cells = self.cells_near(location, carrier=carrier, radius_m=radius_m + 200.0)
             prepared = self.radio.prepare(cells)
-            if len(self._snapshot_cache) > 4096:
-                self._snapshot_cache.clear()
-            self._snapshot_cache[key] = prepared
+            while len(cache) >= self.snapshot_cache_size:
+                cache.popitem(last=False)
+            cache[key] = prepared
+        else:
+            cache.move_to_end(key)
         rsrp = self.radio.rsrp_prepared(prepared, location)
-        return RadioSnapshot(self.radio, prepared.cells, rsrp, location)
+        return RadioSnapshot(self.radio, prepared, rsrp, location)
 
     def get_cell(self, cell_id: CellId) -> Cell:
         """Resolve a cell identity to its :class:`Cell`."""

@@ -27,6 +27,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.config.units import (
     REPORT_AMOUNT,
     REPORT_INTERVAL_MS,
@@ -225,3 +227,46 @@ def evaluate_leave(
         return (serving - hys > config.threshold1
                 or neighbor + neighbor_offset + hys < config.threshold2)
     raise NotImplementedError(f"event {e.value} not supported")
+
+
+def entry_mask(
+    config: EventConfig, serving: float | None, neighbors: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`evaluate_entry` over a neighbor-value array.
+
+    Evaluates the entry condition of one neighbor-triggered event
+    (A3-A6, B1, B2) for every candidate in one masked array pass; the
+    comparisons are written exactly as the scalar evaluator's so both
+    paths agree bit for bit.  Serving-only events (A1/A2, periodic) have
+    no neighbor axis and stay on the scalar evaluator.
+    """
+    e, hys = config.event, config.hysteresis
+    if e in (EventType.A3, EventType.A6):
+        if serving is None:
+            return np.zeros(len(neighbors), dtype=bool)
+        return neighbors - hys > serving + config.offset
+    if e in (EventType.A4, EventType.B1):
+        return neighbors - hys > config.threshold1
+    if e in (EventType.A5, EventType.B2):
+        if serving is None or not serving + hys < config.threshold1:
+            return np.zeros(len(neighbors), dtype=bool)
+        return neighbors - hys > config.threshold2
+    raise NotImplementedError(f"event {e.value} has no neighbor entry mask")
+
+
+def leave_mask(
+    config: EventConfig, serving: float | None, neighbors: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`evaluate_leave` over a neighbor-value array."""
+    e, hys = config.event, config.hysteresis
+    if e in (EventType.A3, EventType.A6):
+        if serving is None:
+            return np.ones(len(neighbors), dtype=bool)
+        return neighbors + hys < serving + config.offset
+    if e in (EventType.A4, EventType.B1):
+        return neighbors + hys < config.threshold1
+    if e in (EventType.A5, EventType.B2):
+        if serving is None or serving - hys > config.threshold1:
+            return np.ones(len(neighbors), dtype=bool)
+        return neighbors + hys < config.threshold2
+    raise NotImplementedError(f"event {e.value} has no neighbor leave mask")

@@ -9,7 +9,9 @@ capacity into delivered throughput (the role of tcpdump in the paper).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -51,15 +53,27 @@ class DriveResult:
     handoffs: list[HandoffEvent] = field(default_factory=list)
     diag_log: bytes = b""
     ping_rtts_ms: list[tuple[int, float | None]] = field(default_factory=list)
+    #: Per-stage cumulative wall seconds, populated when the drive ran
+    #: under ``REPRO_PROFILE=1``; None otherwise.
+    profile: dict[str, float] | None = None
 
     def throughput_series(self, bin_ms: int = 1000) -> list[tuple[int, float]]:
-        """(bin start, mean delivered bps) series at ``bin_ms`` bins."""
+        """(bin start, mean delivered bps) series at ``bin_ms`` bins.
+
+        A single accumulation pass (running sum/count per bin) — long
+        drives do not materialize a per-bin list of every sample.
+        """
         if not self.samples:
             return []
         bins: dict[int, list[float]] = {}
         for sample in self.samples:
-            bins.setdefault(sample.t_ms // bin_ms * bin_ms, []).append(sample.delivered_bps)
-        return [(start, sum(v) / len(v)) for start, v in sorted(bins.items())]
+            acc = bins.get(sample.t_ms // bin_ms * bin_ms)
+            if acc is None:
+                bins[sample.t_ms // bin_ms * bin_ms] = [sample.delivered_bps, 1]
+            else:
+                acc[0] += sample.delivered_bps
+                acc[1] += 1
+        return [(start, total / count) for start, (total, count) in sorted(bins.items())]
 
 
 class DriveSimulator:
@@ -76,6 +90,10 @@ class DriveSimulator:
             the first drive and surface findings as a
             :class:`~repro.lint.engine.ConfigLintWarning`.  The audit is
             cached per (server, carrier), so fleets pay for it once.
+        vectorized: Run the UE's array-resident hot path (default) or
+            the scalar reference loop; drives are bit-identical either
+            way.  Setting ``REPRO_PROFILE=1`` additionally attaches
+            per-stage cumulative timings to each :class:`DriveResult`.
     """
 
     def __init__(
@@ -86,6 +104,7 @@ class DriveSimulator:
         seed: int = 0,
         tick_ms: int = 200,
         config_lint: bool = True,
+        vectorized: bool | None = None,
     ):
         self.env = env
         self.server = server
@@ -93,6 +112,7 @@ class DriveSimulator:
         self.seed = seed
         self.tick_ms = tick_ms
         self.config_lint = config_lint
+        self.vectorized = vectorized
 
     def run(
         self,
@@ -115,7 +135,11 @@ class DriveSimulator:
             warn_before_run(self.env, self.server, self.carrier)
         traffic = traffic if traffic is not None else NoTraffic()
         ue = UserEquipment(
-            self.env, self.server, self.carrier, seed=(self.seed * 1009 + run_index)
+            self.env,
+            self.server,
+            self.carrier,
+            seed=(self.seed * 1009 + run_index),
+            vectorized=self.vectorized,
         )
         writer = DiagWriter.in_memory()
         ue.add_listener(lambda t, message, direction: writer.write(t, message))
@@ -123,6 +147,10 @@ class DriveSimulator:
             rng=np.random.default_rng((self.seed, run_index, 0x7A))
         )
         result = DriveResult(carrier=self.carrier, tick_ms=self.tick_ms)
+        profile: dict[str, float] | None = None
+        if os.environ.get("REPRO_PROFILE", "0") not in ("", "0"):
+            profile = {}
+            ue.profile = profile
         now_ms = 0
         start = trajectory.position(0)
         ue.initial_camp(start, now_ms)
@@ -130,10 +158,17 @@ class DriveSimulator:
             ue.connect(now_ms)
         while now_ms <= trajectory.duration_ms:
             location = trajectory.position(now_ms)
+            t0 = perf_counter() if profile is not None else 0.0
             ue.tick(now_ms, location)
+            if profile is not None:
+                profile["ue_tick"] = profile.get("ue_tick", 0.0) + perf_counter() - t0
+                t0 = perf_counter()
             serving = ue.serving
             assert serving is not None
-            snap = self.env.snapshot(location, self.carrier)
+            # Ground-truth sampling reuses the snapshot the UE's tick
+            # just took at this location (memoized per tick) instead of
+            # preparing and measuring the neighborhood a second time.
+            snap = ue.meas.snapshot(location, self.carrier)
             if serving in snap:
                 measurement = snap.measure(serving)
                 rsrp, sinr = measurement.rsrp_dbm, measurement.sinr_db
@@ -158,7 +193,12 @@ class DriveSimulator:
                     result.ping_rtts_ms.append((now_ms, None))
                 else:
                     result.ping_rtts_ms.append((now_ms, throughput.rtt_ms(sinr)))
+            if profile is not None:
+                profile["ground_truth"] = (
+                    profile.get("ground_truth", 0.0) + perf_counter() - t0
+                )
             now_ms += self.tick_ms
         result.handoffs = list(ue.handoffs)
         result.diag_log = writer.getvalue()
+        result.profile = profile
         return result

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -43,7 +44,11 @@ from repro.rrc.messages import (
     Sib8,
 )
 from repro.ue.handover import HandoverCommand, NetworkController
-from repro.ue.measurement import FilteredMeasurement, MeasurementEngine
+from repro.ue.measurement import (
+    FilteredMeasurement,
+    MeasurementEngine,
+    MeasurementRound,
+)
 from repro.ue.reporting import EventMonitor
 from repro.ue.legacy_reselection import LegacyReselectionEngine
 from repro.ue.reselection import ReselectionEngine, measurement_gates, rank_candidates
@@ -126,6 +131,9 @@ class UserEquipment:
         sib_obs_rng: Optional RNG driving configuration *observation*
             effects (temporal churn) when reading SIBs; None reads the
             base configuration (used for controlled Type-II drives).
+        vectorized: Run the array-resident measurement/event hot path
+            (default) or the scalar reference loop; both produce
+            bit-identical drives (parity-tested).
     """
 
     def __init__(
@@ -137,6 +145,7 @@ class UserEquipment:
         network: NetworkController | None = None,
         phy_meas_interval_ms: int = 500,
         sib_obs_rng: np.random.Generator | None = None,
+        vectorized: bool | None = None,
     ):
         self.env = env
         self.server = server
@@ -145,7 +154,7 @@ class UserEquipment:
         self.network = network or NetworkController(
             env, server, np.random.default_rng((seed, 0x9E7, 1))
         )
-        self.meas = MeasurementEngine(env, self.rng)
+        self.meas = MeasurementEngine(env, self.rng, vectorized=vectorized)
         self.reselection = ReselectionEngine()
         self.legacy_reselection = LegacyReselectionEngine()
         self.monitor: EventMonitor | None = None
@@ -167,10 +176,13 @@ class UserEquipment:
         #: non-intra S-gate is closed (TS 36.304).
         self.higher_meas_period_ms = 60_000
         self._last_higher_meas_ms = -(10**9)
-        #: The most recent measurement round (cell id -> filtered
-        #: measurement); exposed for shadow consumers like the handoff
-        #: predictor, which must see exactly what the device sees.
-        self.last_measurements: dict[CellId, FilteredMeasurement] | None = None
+        #: The most recent measurement round (a cell id -> filtered
+        #: measurement mapping); exposed for shadow consumers like the
+        #: handoff predictor, which must see exactly what the device sees.
+        self.last_measurements: dict[CellId, FilteredMeasurement] | MeasurementRound | None = None
+        #: When set (by the runner under ``REPRO_PROFILE=1``), per-stage
+        #: cumulative seconds are accumulated into this dict.
+        self.profile: dict[str, float] | None = None
 
     # -- message plumbing -------------------------------------------------
 
@@ -309,7 +321,11 @@ class UserEquipment:
     def _connected_step(self, now_ms: int, location) -> None:
         serving = self.serving
         assert serving is not None
+        profile = self.profile
+        t0 = perf_counter() if profile is not None else 0.0
         measured = self.meas.step(location, self.carrier, serving)
+        if profile is not None:
+            profile["measurement"] = profile.get("measurement", 0.0) + perf_counter() - t0
         self.last_measurements = measured
         serving_meas = measured.get(serving.cell_id)
         if serving_meas is None:
@@ -320,8 +336,15 @@ class UserEquipment:
         self._emit_phy_meas(now_ms, serving_meas)
         if self.monitor is None or self.pending_handover is not None:
             return
-        intra_rat, inter_rat = self.meas.split_neighbors(measured, serving)
-        for trigger in self.monitor.step(now_ms, serving_meas, intra_rat, inter_rat):
+        t0 = perf_counter() if profile is not None else 0.0
+        if isinstance(measured, MeasurementRound):
+            triggers = self.monitor.step_round(now_ms, measured, serving_meas)
+        else:
+            intra_rat, inter_rat = self.meas.split_neighbors(measured, serving)
+            triggers = self.monitor.step(now_ms, serving_meas, intra_rat, inter_rat)
+        if profile is not None:
+            profile["events"] = profile.get("events", 0.0) + perf_counter() - t0
+        for trigger in triggers:
             report = MeasurementReport(
                 event=trigger.event.value,
                 metric=trigger.config.metric,

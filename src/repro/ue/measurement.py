@@ -9,18 +9,37 @@ event-evaluation and reselection machinery::
 The paper leans on this twice: "3 dB measurement dynamics is common"
 when interpreting delta-RSRP CDFs (Fig. 6), and time-to-trigger exists
 precisely because single samples are noisy.
+
+Two implementations share the engine: the default *vectorized* path
+keeps filter state in numpy arrays aligned with the snapshot cache's
+prepared cell list (one masked array pass per round, stable cell-index
+maps, carry-over when the UE crosses a cache-grid boundary), and the
+*scalar* path is the original per-cell loop, kept as a reference oracle
+— parity tests assert both produce bit-identical drives.
 """
 
 from __future__ import annotations
 
+import os
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cellnet.cell import Cell, CellId
-from repro.cellnet.radio import RadioSnapshot
-from repro.cellnet.rat import RAT, clamp_rsrp, clamp_rsrq
+from repro.cellnet.radio import PreparedCells, RadioSnapshot
+from repro.cellnet.rat import (
+    RSRP_RANGE_DBM,
+    RSRQ_RANGE_DB,
+    clamp_rsrp,
+    clamp_rsrq,
+)
 from repro.cellnet.world import RadioEnvironment
+
+
+def default_vectorized() -> bool:
+    """Whether new engines take the vectorized path (REPRO_SCALAR=1 opts out)."""
+    return os.environ.get("REPRO_SCALAR", "0") in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -40,6 +59,138 @@ class FilteredMeasurement:
         raise ValueError(f"unknown metric {name!r}")
 
 
+class MeasurementRound(Mapping):
+    """One measurement round, array-resident.
+
+    Behaves like the ``dict[CellId, FilteredMeasurement]`` the scalar
+    engine returns (same iteration order: snapshot order over measured
+    cells), but the filtered values live in numpy arrays aligned with
+    the snapshot's prepared cell list; :class:`FilteredMeasurement`
+    dataclasses are only materialized for the few cells a consumer
+    actually touches (serving cell, report neighbors).
+    """
+
+    __slots__ = ("prepared", "rsrp", "rsrq", "mask", "_order", "_fms", "_masks", "_splits")
+
+    def __init__(
+        self,
+        prepared: PreparedCells,
+        rsrp: np.ndarray,
+        rsrq: np.ndarray,
+        mask: np.ndarray,
+    ):
+        self.prepared = prepared
+        #: Filtered metric arrays aligned with ``prepared.cells``; only
+        #: positions where ``mask`` holds carry this round's values.
+        self.rsrp = rsrp
+        self.rsrq = rsrq
+        self.mask = mask
+        self._order: np.ndarray | None = None
+        self._fms: dict[CellId, FilteredMeasurement] = {}
+        self._masks: dict = {}
+        self._splits: dict = {}
+
+    @property
+    def order(self) -> np.ndarray:
+        """Measured positions in snapshot order (``flatnonzero(mask)``)."""
+        if self._order is None:
+            self._order = np.flatnonzero(self.mask)
+        return self._order
+
+    # -- Mapping protocol (scalar-dict compatibility) -----------------------
+
+    def __iter__(self):
+        ids = self.prepared.cell_ids
+        return (ids[i] for i in self.order)
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __contains__(self, cell_id) -> bool:
+        i = self.prepared.index.get(cell_id)
+        return i is not None and bool(self.mask[i])
+
+    def __getitem__(self, cell_id) -> FilteredMeasurement:
+        i = self.prepared.index.get(cell_id)
+        if i is None or not self.mask[i]:
+            raise KeyError(cell_id)
+        return self.measurement_at(i)
+
+    def get(self, cell_id, default=None):
+        i = self.prepared.index.get(cell_id)
+        if i is None or not self.mask[i]:
+            return default
+        return self.measurement_at(i)
+
+    # -- array-side accessors ----------------------------------------------
+
+    def measurement_at(self, i: int) -> FilteredMeasurement:
+        """The (cached) :class:`FilteredMeasurement` of snapshot position ``i``."""
+        cell_id = self.prepared.cell_ids[i]
+        fm = self._fms.get(cell_id)
+        if fm is None:
+            fm = FilteredMeasurement(
+                cell=self.prepared.cells[i],
+                rsrp_dbm=float(self.rsrp[i]),
+                rsrq_db=float(self.rsrq[i]),
+            )
+            self._fms[cell_id] = fm
+        return fm
+
+    def metric_values(self, name: str) -> np.ndarray:
+        """Filtered value array of the named metric (snapshot-aligned)."""
+        if name == "rsrp":
+            return self.rsrp
+        if name == "rsrq":
+            return self.rsrq
+        raise ValueError(f"unknown metric {name!r}")
+
+    def neighbor_masks(self, serving: Cell) -> tuple[np.ndarray, np.ndarray]:
+        """(intra-RAT, inter-RAT) neighbor candidate masks, full length.
+
+        Boolean arrays over ``prepared.cells``: measured this round, of
+        the respective RAT class, serving cell excluded.  Cached per
+        round — every armed event consults the same candidate classes.
+        """
+        key = serving.cell_id
+        cached = self._masks.get(key)
+        if cached is not None:
+            return cached
+        mask = self.mask.copy()
+        si = self.prepared.index.get(key)
+        if si is not None:
+            mask[si] = False
+        rat_mask = self.prepared.rat_mask(serving.rat)
+        intra = mask & rat_mask
+        inter = mask & ~rat_mask
+        self._masks[key] = (intra, inter)
+        return intra, inter
+
+    def neighbor_order(self, serving: Cell) -> tuple[np.ndarray, np.ndarray]:
+        """(intra-RAT, inter-RAT) neighbor positions, best-first.
+
+        Sorted by (-filtered RSRP, cell id), exactly the scalar
+        :meth:`MeasurementEngine.split_neighbors` order.  Computed (and
+        cached) lazily: the vectorized event pass only needs the
+        unsorted masks, so the sort is paid only when a report actually
+        materializes neighbors or a shadow consumer splits the round.
+        """
+        key = serving.cell_id
+        cached = self._splits.get(key)
+        if cached is not None:
+            return cached
+        intra_mask, inter_mask = self.neighbor_masks(serving)
+        intra = np.flatnonzero(intra_mask)
+        inter = np.flatnonzero(inter_mask)
+        gci = self.prepared.gci
+        if intra.size:
+            intra = intra[np.lexsort((gci[intra], -self.rsrp[intra]))]
+        if inter.size:
+            inter = inter[np.lexsort((gci[inter], -self.rsrp[inter]))]
+        self._splits[key] = (intra, inter)
+        return intra, inter
+
+
 class MeasurementEngine:
     """Per-UE measurement state: noise injection plus L3 filtering.
 
@@ -49,6 +200,8 @@ class MeasurementEngine:
         noise_std_db: L1 sample noise standard deviation.
         filter_k: TS 36.331 filterCoefficient (k = 4 gives a = 0.5).
         radius_m: Neighbor search radius per snapshot.
+        vectorized: Take the array-resident fast path (default; honours
+            ``REPRO_SCALAR=1``) or the scalar per-cell reference loop.
     """
 
     def __init__(
@@ -59,6 +212,7 @@ class MeasurementEngine:
         filter_k: int = 4,
         radius_m: float = 2500.0,
         detection_floor_dbm: float = -126.0,
+        vectorized: bool | None = None,
     ):
         self.env = env
         self.rng = rng
@@ -69,7 +223,19 @@ class MeasurementEngine:
         #: both a realism point (cell search has a sensitivity floor)
         #: and the measurement hot path's main cost saver.
         self.detection_floor_dbm = detection_floor_dbm
+        self.vectorized = default_vectorized() if vectorized is None else vectorized
+        #: Scalar-path filter state (cell id -> (rsrp, rsrq)).
         self._filtered: dict[CellId, tuple[float, float]] = {}
+        #: Vectorized-path filter state, aligned with ``_aligned.cells``.
+        self._aligned: PreparedCells | None = None
+        self._filt_rsrp: np.ndarray | None = None
+        self._filt_rsrq: np.ndarray | None = None
+        self._has_filt: np.ndarray | None = None
+        #: Memo of the last snapshot taken, so every consumer inside one
+        #: tick (measurement, idle gating, the runner's ground-truth
+        #: sampling) shares a single vectorized RSRP computation.
+        self._snap_key: tuple | None = None
+        self._snap: RadioSnapshot | None = None
         #: Count of measurement rounds performed, split by kind — the
         #: measurement-efficiency analysis (Fig. 11) consumes these.
         self.intra_freq_rounds = 0
@@ -78,10 +244,22 @@ class MeasurementEngine:
     def reset(self) -> None:
         """Drop filter state (called after a handoff/reselection)."""
         self._filtered.clear()
+        if self._has_filt is not None:
+            self._has_filt = np.zeros(len(self._has_filt), dtype=bool)
 
     def snapshot(self, location, carrier: str) -> RadioSnapshot:
-        """Raw vectorized snapshot of the carrier's audible cells."""
-        return self.env.snapshot(location, carrier, radius_m=self.radius_m)
+        """Raw vectorized snapshot of the carrier's audible cells.
+
+        Memoized on (location, carrier): repeated calls within one tick
+        (UE step + runner ground truth) reuse the same snapshot object.
+        """
+        key = (location.x, location.y, carrier)
+        if key == self._snap_key:
+            assert self._snap is not None
+            return self._snap
+        snap = self.env.snapshot(location, carrier, radius_m=self.radius_m)
+        self._snap_key, self._snap = key, snap
+        return snap
 
     def step(
         self,
@@ -90,7 +268,7 @@ class MeasurementEngine:
         serving: Cell,
         measure_intra: bool = True,
         measure_non_intra: bool = True,
-    ) -> dict[CellId, FilteredMeasurement]:
+    ):
         """One measurement round; returns filtered values per cell.
 
         ``measure_intra`` / ``measure_non_intra`` implement the Eq. (1)
@@ -98,14 +276,96 @@ class MeasurementEngine:
         simply not sampled this round (their stale filter state is
         dropped, as a real modem ages measurements out).  The serving
         cell is always measured.
+
+        Returns a mapping of cell id to filtered measurement: a plain
+        dict on the scalar path, a :class:`MeasurementRound` on the
+        vectorized one.
         """
         snap = self.snapshot(location, carrier)
-        measured: dict[CellId, FilteredMeasurement] = {}
-        seen: set[CellId] = set()
         if measure_intra:
             self.intra_freq_rounds += 1
         if measure_non_intra:
             self.non_intra_freq_rounds += 1
+        if self.vectorized:
+            return self._step_vectorized(snap, serving, measure_intra, measure_non_intra)
+        return self._step_scalar(snap, serving, measure_intra, measure_non_intra)
+
+    # -- vectorized path -----------------------------------------------------
+
+    def _realign(self, prepared: PreparedCells) -> None:
+        """Carry filter state over to a new snapshot-cache cell list."""
+        n = len(prepared.cells)
+        rsrp = np.zeros(n)
+        rsrq = np.zeros(n)
+        has = np.zeros(n, dtype=bool)
+        old = self._aligned
+        if old is not None and self._has_filt is not None and self._has_filt.any():
+            old_index = old.index
+            old_rsrp, old_rsrq, old_has = self._filt_rsrp, self._filt_rsrq, self._has_filt
+            for i, cell_id in enumerate(prepared.cell_ids):
+                j = old_index.get(cell_id)
+                if j is not None and old_has[j]:
+                    has[i] = True
+                    rsrp[i] = old_rsrp[j]
+                    rsrq[i] = old_rsrq[j]
+        self._aligned = prepared
+        self._filt_rsrp, self._filt_rsrq, self._has_filt = rsrp, rsrq, has
+
+    def _step_vectorized(
+        self,
+        snap: RadioSnapshot,
+        serving: Cell,
+        measure_intra: bool,
+        measure_non_intra: bool,
+    ) -> MeasurementRound:
+        prepared = snap.prepared
+        n = len(prepared.cells)
+        rsrp_arr, rsrq_arr, _ = snap.metric_arrays()
+        # The noise draws mirror the scalar path exactly (same RNG
+        # stream: two length-n draws per round, eligible or not).
+        noise_rsrp = self.rng.normal(0.0, self.noise_std_db, n)
+        noise_rsrq = self.rng.normal(0.0, self.noise_std_db / 2.0, n)
+        if self._aligned is not prepared:
+            self._realign(prepared)
+        eligible = rsrp_arr >= self.detection_floor_dbm
+        if not (measure_intra and measure_non_intra):
+            intra = prepared.intra_mask(serving.rat, serving.channel)
+            if not measure_intra:
+                eligible &= ~intra
+            if not measure_non_intra:
+                eligible &= intra
+        serving_i = prepared.index.get(serving.cell_id)
+        if serving_i is not None:
+            eligible[serving_i] = True
+        # minimum(maximum(...)) is the scalar clamp's exact op order.
+        lo, hi = RSRP_RANGE_DBM
+        noisy_rsrp = np.minimum(np.maximum(rsrp_arr + noise_rsrp, lo), hi)
+        lo, hi = RSRQ_RANGE_DB
+        noisy_rsrq = np.minimum(np.maximum(rsrq_arr + noise_rsrq, lo), hi)
+        one_minus_alpha = 1.0 - self.alpha
+        has = self._has_filt
+        filt_rsrp = np.where(
+            has, one_minus_alpha * self._filt_rsrp + self.alpha * noisy_rsrp, noisy_rsrp
+        )
+        filt_rsrq = np.where(
+            has, one_minus_alpha * self._filt_rsrq + self.alpha * noisy_rsrq, noisy_rsrq
+        )
+        # Cells not measured this round age out (has-state drops), just
+        # as the scalar path deletes their dict entries.
+        self._filt_rsrp, self._filt_rsrq, self._has_filt = filt_rsrp, filt_rsrq, eligible
+        return MeasurementRound(prepared, filt_rsrp, filt_rsrq, eligible)
+
+    # -- scalar reference path ----------------------------------------------
+
+    def _step_scalar(
+        self,
+        snap: RadioSnapshot,
+        serving: Cell,
+        measure_intra: bool,
+        measure_non_intra: bool,
+    ) -> dict[CellId, FilteredMeasurement]:
+        measured: dict[CellId, FilteredMeasurement] = {}
+        seen: set[CellId] = set()
         rsrp_arr, rsrq_arr, _ = snap.metric_arrays()
         n = len(snap.cells)
         noise_rsrp = self.rng.normal(0.0, self.noise_std_db, n)
@@ -141,17 +401,23 @@ class MeasurementEngine:
             del self._filtered[stale]
         return measured
 
-    def serving_measurement(
-        self, measured: dict[CellId, FilteredMeasurement], serving: Cell
-    ) -> FilteredMeasurement:
+    # -- shared helpers ------------------------------------------------------
+
+    def serving_measurement(self, measured, serving: Cell) -> FilteredMeasurement:
         """The serving cell's entry from a measurement round."""
         return measured[serving.cell_id]
 
     @staticmethod
     def split_neighbors(
-        measured: dict[CellId, FilteredMeasurement], serving: Cell
+        measured, serving: Cell
     ) -> tuple[list[FilteredMeasurement], list[FilteredMeasurement]]:
         """(intra-RAT LTE neighbors, inter-RAT neighbors) of a round."""
+        if isinstance(measured, MeasurementRound):
+            intra_idx, inter_idx = measured.neighbor_order(serving)
+            return (
+                [measured.measurement_at(i) for i in intra_idx],
+                [measured.measurement_at(i) for i in inter_idx],
+            )
         intra_rat: list[FilteredMeasurement] = []
         inter_rat: list[FilteredMeasurement] = []
         for cid, fm in measured.items():

@@ -81,6 +81,71 @@ def test_co_channel_interferers_same_channel_only(env, scenario):
         assert interferer.cell_id != cell.cell_id
 
 
+def test_co_channel_interferers_match_bruteforce(env, scenario):
+    """The spatial-index route returns exactly the brute-force set."""
+    origin = scenario.cities[0].origin
+    for cell in env.cells_near(origin, carrier="A")[:5]:
+        expected = sorted(
+            (
+                c
+                for c in env.registry
+                if c.rat is cell.rat
+                and c.channel == cell.channel
+                and c.cell_id != cell.cell_id
+                and c.location.distance_to(origin) <= env.audible_radius_m
+            ),
+            key=lambda c: c.cell_id,
+        )
+        assert env.co_channel_interferers(cell, origin) == expected
+
+
+def _fresh_env(scenario, cache_size):
+    from repro.cellnet.world import RadioEnvironment
+
+    env = RadioEnvironment(scenario.plan)
+    env.snapshot_cache_size = cache_size
+    return env
+
+
+def _far_apart_points(scenario, n):
+    origin = scenario.cities[0].origin
+    # 400 m apart: each lands in its own 200 m snapshot-cache square.
+    return [origin.offset(400.0 * i, 0.0) for i in range(n)]
+
+
+def test_snapshot_cache_evicts_least_recently_used(scenario):
+    env = _fresh_env(scenario, cache_size=2)
+    a, b, c = _far_apart_points(scenario, 3)
+    env.snapshot(a, "A")
+    env.snapshot(b, "A")
+    key_a, key_b = list(env._snapshot_cache)
+    env.snapshot(c, "A")
+    # Oldest entry (a) evicted, not the whole cache.
+    assert key_a not in env._snapshot_cache
+    assert key_b in env._snapshot_cache
+    assert len(env._snapshot_cache) == 2
+
+
+def test_snapshot_cache_hit_refreshes_entry(scenario):
+    env = _fresh_env(scenario, cache_size=2)
+    a, b, c = _far_apart_points(scenario, 3)
+    env.snapshot(a, "A")
+    env.snapshot(b, "A")
+    key_a, key_b = list(env._snapshot_cache)
+    env.snapshot(a, "A")  # Hit: a becomes most recently used.
+    env.snapshot(c, "A")  # Evicts b, the now-least-recent entry.
+    assert key_a in env._snapshot_cache
+    assert key_b not in env._snapshot_cache
+
+
+def test_snapshot_cache_hit_reuses_prepared(scenario):
+    env = _fresh_env(scenario, cache_size=8)
+    origin = scenario.cities[0].origin
+    first = env.snapshot(origin, "A")
+    second = env.snapshot(origin.offset(1.0, 0.0), "A")
+    assert second.prepared is first.prepared
+
+
 def test_get_cell_roundtrip(env, scenario):
     cell = next(iter(scenario.plan.registry))
     assert env.get_cell(cell.cell_id) is cell

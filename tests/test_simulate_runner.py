@@ -52,6 +52,18 @@ def test_throughput_series_binning(short_drive):
     assert all(start % 1000 == 0 for start in starts)
 
 
+def test_throughput_series_matches_naive_binning(short_drive):
+    """The single-pass accumulator equals the per-bin-list reference."""
+    bin_ms = 1000
+    naive: dict[int, list[float]] = {}
+    for sample in short_drive.samples:
+        naive.setdefault(sample.t_ms // bin_ms * bin_ms, []).append(sample.delivered_bps)
+    expected = [
+        (start, sum(values) / len(values)) for start, values in sorted(naive.items())
+    ]
+    assert short_drive.throughput_series(bin_ms=bin_ms) == expected
+
+
 def test_deterministic_rerun(scenario):
     sim = DriveSimulator(scenario.env, scenario.server, "A", seed=5)
     rng1 = np.random.default_rng(33)

@@ -7,9 +7,9 @@ from repro.cellnet.rat import RAT
 from repro.ue.measurement import MeasurementEngine
 
 
-@pytest.fixture
-def engine(env):
-    return MeasurementEngine(env, np.random.default_rng(5))
+@pytest.fixture(params=[True, False], ids=["vectorized", "scalar"])
+def engine(request, env):
+    return MeasurementEngine(env, np.random.default_rng(5), vectorized=request.param)
 
 
 @pytest.fixture
@@ -80,7 +80,10 @@ def test_reset_clears_filter_state(engine, serving, scenario):
     origin = scenario.cities[0].origin
     engine.step(origin, "A", serving)
     engine.reset()
-    assert engine._filtered == {}
+    if engine.vectorized:
+        assert not engine._has_filt.any()
+    else:
+        assert engine._filtered == {}
 
 
 def test_split_neighbors(engine, serving, scenario):
