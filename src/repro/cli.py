@@ -30,6 +30,8 @@ simulation) with the :mod:`repro.lint` rule engine::
     python -m repro lint --format json         # machine-readable
     python -m repro lint --city Chicago --carriers T V
     python -m repro lint --baseline lint-baseline.json --fail-on problem
+    python -m repro lint --graph --workers 4   # + handoff-graph verifier
+    python -m repro lint --graph --update-baseline
 """
 
 from __future__ import annotations
@@ -110,8 +112,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint", help="statically audit cell configurations for misconfigurations"
     )
     lint_parser.add_argument("--city", default="world", metavar="NAME",
-                             help="'world' (default), 'us', or a city name "
-                                  "(e.g. Chicago)")
+                             help="'world' (default), 'us', a city name "
+                                  "(e.g. Chicago), or 'loop-fixture' (the "
+                                  "synthetic 3-cell handoff-loop scenario)")
     lint_parser.add_argument("--carriers", nargs="*", default=None, metavar="C",
                              help="restrict the audit to these carriers")
     lint_parser.add_argument("--rules", nargs="*", default=None, metavar="CODE",
@@ -122,6 +125,21 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="suppress findings recorded in this baseline file")
     lint_parser.add_argument("--write-baseline", default=None, metavar="PATH",
                              help="write all current findings to a baseline file")
+    lint_parser.add_argument("--update-baseline", action="store_true",
+                             help="rewrite the suppression baseline in place "
+                                  "(--baseline path, default lint-baseline.json) "
+                                  "with all current findings")
+    lint_parser.add_argument("--graph", action="store_true",
+                             help="also run the handoff-graph verifier "
+                                  "(HC2xx: persistent loops, dead layers, "
+                                  "priority inversions)")
+    lint_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                             help="worker processes for the graph pass "
+                                  "(default serial; reports are byte-identical "
+                                  "at any worker count)")
+    lint_parser.add_argument("--extra-rings", type=int, default=0, metavar="K",
+                             help="extra deployment rings for world audits "
+                                  "(default 0, matching the D2 build)")
     lint_parser.add_argument("--max-cells", type=int, default=60, metavar="N",
                              help="audit at most N cells per carrier, 0 = all "
                                   "(default 60)")
@@ -129,9 +147,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="deployment seed (default 7)")
     lint_parser.add_argument("--config-seed", type=int, default=2018,
                              help="configuration-profile seed (default 2018)")
-    lint_parser.add_argument("--fail-on", choices=("never", "problem", "warning"),
+    lint_parser.add_argument("--fail-on",
+                             choices=("never", "problem", "warning", "any"),
                              default="never",
-                             help="exit non-zero at this severity (default never)")
+                             help="exit non-zero at this severity; 'any' fails "
+                                  "on every non-baselined finding "
+                                  "(default never)")
     lint_parser.add_argument("--verbose", action="store_true",
                              help="list every finding in text reports")
     return parser
@@ -147,25 +168,46 @@ def _run_lint(args: argparse.Namespace) -> int:
         deploy_city,
     )
     from repro.cellnet.world import RadioEnvironment
+    from repro.datasets.d2 import d2_world
     from repro.lint import Baseline, lint_world, render_text
     from repro.lint.report import RENDERERS
     from repro.rrc.broadcast import ConfigServer
 
     if args.city == "world":
-        plan = build_world_deployment(seed=args.seed)
-    elif args.city == "us":
-        plan = build_us_deployment(seed=args.seed)
+        # The exact deployment the D2 dataset builder audits/collects
+        # from (and a shared process-level cache with it).
+        world = d2_world(
+            seed=args.seed,
+            config_seed=args.config_seed,
+            extra_rings=args.extra_rings,
+        )
+        env, server = world.env, world.server
+    elif args.city == "loop-fixture":
+        from repro.lint.fixtures import loop_fixture
+
+        scenario = loop_fixture(misconfigured=True)
+        env, server = scenario.env, scenario.server
     else:
-        try:
-            city = city_by_name(args.city)
-        except KeyError as error:
-            print(error.args[0], file=sys.stderr)
-            return 2
-        plan = DeploymentPlan()
-        deploy_city(city, plan, args.seed)
-    env = RadioEnvironment(plan)
-    server = ConfigServer(env, seed=args.config_seed)
-    baseline = Baseline.load(args.baseline) if args.baseline else None
+        if args.city == "us":
+            plan = build_us_deployment(seed=args.seed)
+        else:
+            try:
+                city = city_by_name(args.city)
+            except KeyError as error:
+                print(error.args[0], file=sys.stderr)
+                return 2
+            plan = DeploymentPlan()
+            deploy_city(city, plan, args.seed)
+        env = RadioEnvironment(plan)
+        server = ConfigServer(env, seed=args.config_seed)
+    baseline_path = args.baseline
+    if args.update_baseline and baseline_path is None:
+        baseline_path = "lint-baseline.json"
+    baseline = None
+    # Regeneration audits fresh (suppressing against the stale file
+    # would only relabel findings, not change what gets written).
+    if baseline_path and not args.update_baseline:
+        baseline = Baseline.load(baseline_path)
     try:
         report = lint_world(
             env,
@@ -174,21 +216,28 @@ def _run_lint(args: argparse.Namespace) -> int:
             max_cells_per_carrier=args.max_cells,
             codes=args.rules,
             baseline=baseline,
+            graph=args.graph,
+            workers=args.workers,
         )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
-    if args.write_baseline:
+    write_path = args.write_baseline
+    if args.update_baseline:
+        write_path = baseline_path
+    if write_path:
         captured = Baseline.from_findings(report.findings + report.suppressed)
-        captured.save(args.write_baseline)
+        captured.save(write_path)
         print(
-            f"# wrote {len(captured)} suppressions to {args.write_baseline}",
+            f"# wrote {len(captured)} suppressions to {write_path}",
             file=sys.stderr,
         )
     if args.format == "text":
         print(render_text(report, verbose=args.verbose))
     else:
         print(RENDERERS[args.format](report))
+    if args.fail_on == "any" and report.findings:
+        return 1
     if args.fail_on == "problem" and report.has_problems:
         return 1
     if args.fail_on == "warning" and report.has_warnings:

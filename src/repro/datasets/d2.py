@@ -95,6 +95,34 @@ class D2Context:
     volunteers: list[Volunteer]
 
 
+@dataclass
+class D2World:
+    """A deployed world plus its configuration oracle."""
+
+    plan: DeploymentPlan
+    env: RadioEnvironment
+    server: ConfigServer
+
+
+def d2_world(seed: int = 7, config_seed: int = 2018, extra_rings: int = 0) -> D2World:
+    """The deployed world behind a D2 build (cached per process).
+
+    Shared by the dataset builder and ``repro lint``: auditing "the D2
+    fleet" means auditing exactly this deployment, and the cache means a
+    build followed by an audit (or preflighted simulations over the same
+    scenario) constructs the world once.
+    """
+    key = ("d2-world", seed, config_seed, extra_rings)
+
+    def build() -> D2World:
+        plan = build_world_deployment(seed=seed, extra_rings=extra_rings)
+        env = RadioEnvironment(plan)
+        server = ConfigServer(env, seed=config_seed)
+        return D2World(plan=plan, env=env, server=server)
+
+    return process_cached(key, build)
+
+
 def d2_context(options: D2Options) -> D2Context:
     """The world + volunteer population behind ``options``.
 
@@ -113,15 +141,19 @@ def d2_context(options: D2Options) -> D2Context:
     )
 
     def build() -> D2Context:
-        plan = build_world_deployment(seed=options.seed, extra_rings=options.extra_rings)
-        env = RadioEnvironment(plan)
-        server = ConfigServer(env, seed=options.config_seed)
+        world = d2_world(
+            seed=options.seed,
+            config_seed=options.config_seed,
+            extra_rings=options.extra_rings,
+        )
         volunteers = volunteer_population(
             seed=options.volunteer_seed, n_volunteers=options.n_volunteers
         )
         if not options.include_dense:
             volunteers = [v for v in volunteers if not v.dense]
-        return D2Context(plan=plan, env=env, server=server, volunteers=volunteers)
+        return D2Context(
+            plan=world.plan, env=world.env, server=world.server, volunteers=volunteers
+        )
 
     return process_cached(key, build)
 

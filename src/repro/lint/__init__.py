@@ -14,7 +14,11 @@ Layout:
 * :mod:`rules` — the :class:`Rule` protocol, ``@rule`` decorator and
   registry of stable ``HCnnn`` codes;
 * :mod:`cell_rules` / :mod:`network_rules` — the built-in rules;
-* :mod:`pingpong` — symbolic hysteresis/TTT/offset ping-pong algebra;
+* :mod:`pingpong` — symbolic hysteresis/TTT/offset ping-pong algebra
+  and the :class:`Interval` RSRP algebra it shares with the graph pass;
+* :mod:`graph` — the whole-network symbolic handoff-graph verifier
+  (persistent k-cell loops, dead layers, priority inversions);
+* :mod:`fixtures` — deterministic misconfigured worlds for tests;
 * :mod:`engine` — snapshot/world audits and the simulation preflight;
 * :mod:`baseline` — suppression files for known-and-accepted findings;
 * :mod:`report` — text, JSON and SARIF renderers.
@@ -43,6 +47,8 @@ from repro.lint.findings import (
     sort_findings,
     summarize,
 )
+from repro.lint.graph import GraphAnalyzer, GraphStats, build_components, cell_policy
+from repro.lint.pingpong import FULL_RSRP, Interval
 from repro.lint.report import render_json, render_sarif, render_text
 from repro.lint.rules import (
     Issue,
@@ -57,13 +63,19 @@ from repro.lint.rules import (
 __all__ = [
     "Baseline",
     "ConfigLintWarning",
+    "FULL_RSRP",
     "Finding",
+    "GraphAnalyzer",
+    "GraphStats",
+    "Interval",
     "Issue",
     "LintReport",
     "RegisteredRule",
     "Rule",
     "SEVERITIES",
     "all_rules",
+    "build_components",
+    "cell_policy",
     "count_by_severity",
     "get_rule",
     "lint_snapshots",

@@ -7,14 +7,23 @@ Three entry layers, cheapest first:
   :class:`~repro.rrc.broadcast.ConfigServer` (no diag round trip, no
   simulation: this is the "audit millions of cell configs without
   running the simulator" path);
-* :func:`warn_before_run` — the simulation preflight hook; caches one
-  audit per (server, carrier) and surfaces findings as a
+* :func:`warn_before_run` — the simulation preflight hook; memoizes one
+  audit per world content-digest (and caches it per server for
+  warn-once semantics) and surfaces findings as a
   :class:`ConfigLintWarning` so every drive knows what configuration
   problems it is driving through.
+
+Audits optionally include the symbolic handoff-graph verifier
+(:mod:`repro.lint.graph`, rules HC201-HC204) via ``graph=True``; graph
+analysis shards per connected component over :mod:`repro.pipeline`
+workers and re-verifies only components whose member configurations
+changed since the analyzer last saw them.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import warnings
 import weakref
 from dataclasses import dataclass, field
@@ -31,6 +40,7 @@ from repro.lint.findings import (
     sort_findings,
     summarize,
 )
+from repro.lint.graph import GraphAnalyzer, GraphStats
 from repro.lint.rules import RegisteredRule, select_rules
 from repro.rrc.broadcast import ConfigServer
 
@@ -49,12 +59,15 @@ class LintReport:
         suppressed: Findings matched by the baseline.
         snapshots_audited: How many cell snapshots the audit covered.
         rules_run: Codes of the rules that ran.
+        graph_stats: Counters of the handoff-graph verification pass
+            (None when the audit ran without ``graph=True``).
     """
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
     snapshots_audited: int = 0
     rules_run: tuple[str, ...] = ()
+    graph_stats: GraphStats | None = None
 
     def counts_by_code(self) -> dict[str, int]:
         return summarize(self.findings)
@@ -76,13 +89,38 @@ def lint_snapshots(
     rules: tuple[RegisteredRule, ...] | None = None,
     codes: list[str] | None = None,
     baseline: Baseline | None = None,
+    graph: bool = False,
+    workers: int | None = None,
+    graph_analyzer: GraphAnalyzer | None = None,
 ) -> LintReport:
-    """Run (all or selected) rules over a list of snapshots."""
+    """Run (all or selected) rules over a list of snapshots.
+
+    Args:
+        snapshots: The audit population.
+        rules: Explicit rule set (overrides ``codes``).
+        codes: Rule-code filter (default: every registered rule).
+        baseline: Optional suppression baseline.
+        graph: Also run the handoff-graph verifier (HC2xx rules).
+        workers: Worker processes for the graph pass (None/1 = serial).
+        graph_analyzer: Analyzer instance to reuse for incremental
+            per-component caching (default: a fresh one per call).
+    """
     if rules is None:
         rules = select_rules(codes)
+    snapshot_rules = tuple(r for r in rules if r.scope != "graph")
+    graph_codes = tuple(r.code for r in rules if r.scope == "graph")
     findings: list[Finding] = []
-    for registered in rules:
+    for registered in snapshot_rules:
         findings.extend(registered.check(snapshots))
+    graph_stats: GraphStats | None = None
+    rules_run = tuple(r.code for r in snapshot_rules)
+    if graph and graph_codes:
+        analyzer = graph_analyzer if graph_analyzer is not None else GraphAnalyzer()
+        graph_findings, graph_stats = analyzer.analyze(
+            snapshots, codes=graph_codes, workers=workers
+        )
+        findings.extend(graph_findings)
+        rules_run = tuple(r.code for r in rules)
     findings = sort_findings(findings)
     suppressed: list[Finding] = []
     if baseline is not None:
@@ -91,7 +129,8 @@ def lint_snapshots(
         findings=findings,
         suppressed=suppressed,
         snapshots_audited=len(snapshots),
-        rules_run=tuple(r.code for r in rules),
+        rules_run=rules_run,
+        graph_stats=graph_stats,
     )
 
 
@@ -164,40 +203,118 @@ def lint_world(
     max_cells_per_carrier: int = 0,
     codes: list[str] | None = None,
     baseline: Baseline | None = None,
+    graph: bool = False,
+    workers: int | None = None,
+    graph_analyzer: GraphAnalyzer | None = None,
 ) -> LintReport:
     """Audit a whole deployed world (or fleet subset) in one pass."""
     snapshots = world_snapshots(
         env, server, carriers=carriers, max_cells_per_carrier=max_cells_per_carrier
     )
-    return lint_snapshots(snapshots, codes=codes, baseline=baseline)
+    return lint_snapshots(
+        snapshots,
+        codes=codes,
+        baseline=baseline,
+        graph=graph,
+        workers=workers,
+        graph_analyzer=graph_analyzer,
+    )
 
 
-#: Preflight audits cached per config server: {carrier: (report, warned)}.
-_PREFLIGHT_CACHE: "weakref.WeakKeyDictionary[ConfigServer, dict]" = (
+#: Preflight audits cached per config server: {carrier: report}.  This
+#: layer exists for warn-once semantics — the warning fires once per
+#: (server, carrier), and repeated calls return the identical object.
+_PREFLIGHT_CACHE: "weakref.WeakKeyDictionary[ConfigServer, dict[str, LintReport]]" = (
     weakref.WeakKeyDictionary()
 )
+
+#: World content digests cached per environment (the registry is
+#: immutable for a deployed world, so the digest is computed once).
+_WORLD_DIGESTS: "weakref.WeakKeyDictionary[RadioEnvironment, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: Preflight reports memoized per world *content* digest: fresh servers
+#: over the same deployment and seed reuse the finished audit instead of
+#: re-running it, which is what keeps graph-enabled preflights free for
+#: fleets of drives.  Keys are (world digest, config seed, carrier,
+#: graph flag); the dict is bounded below.
+_PREFLIGHT_REPORTS: dict[tuple[str, int, str, bool], LintReport] = {}
+
+#: Bound on the digest-keyed memo; preflights touch a handful of worlds
+#: per process, so eviction is a safety valve, not a steady state.
+_PREFLIGHT_REPORTS_LIMIT = 64
 
 #: Cell cap for preflight audits: enough for a representative verdict,
 #: cheap enough to run in front of every first drive.
 PREFLIGHT_MAX_CELLS = 200
 
+#: Shared analyzer for preflight graph passes: its per-component cache
+#: makes repeated preflights over overlapping worlds incremental.
+_PREFLIGHT_GRAPH_ANALYZER = GraphAnalyzer()
+
+
+def world_digest(env: RadioEnvironment, config_seed: int) -> str:
+    """Content digest of a deployed world's configuration inputs.
+
+    Every cell configuration is a deterministic function of the cell's
+    identity/location and the profile seed, so hashing those inputs
+    fingerprints the full configuration state without generating it.
+    """
+    cached = _WORLD_DIGESTS.get(env)
+    if cached is None:
+        hasher = hashlib.sha256()
+        for cell in env.registry.all_cells():
+            hasher.update(repr((
+                cell.cell_id.carrier, cell.cell_id.gci, cell.rat.value,
+                cell.channel, cell.pci, cell.location, cell.tx_power_dbm,
+                cell.city, cell.bandwidth_mhz,
+            )).encode())
+        cached = hasher.hexdigest()[:16]
+        _WORLD_DIGESTS[env] = cached
+    return f"{cached}:{config_seed}"
+
 
 def warn_before_run(
-    env: RadioEnvironment, server: ConfigServer, carrier: str
+    env: RadioEnvironment,
+    server: ConfigServer,
+    carrier: str,
+    graph: bool | None = None,
 ) -> LintReport:
     """Simulation preflight: audit ``carrier`` once and warn on findings.
 
-    The audit is cached per (server, carrier) so fleets of drives pay
-    for it exactly once; the warning is emitted once per cache entry.
+    The finished report is memoized per world content-digest, so fleets
+    of drives — even ones constructing a fresh :class:`ConfigServer`
+    per drive — pay for the audit exactly once per deployment, and
+    enabling graph rules adds no per-run latency.  The warning itself
+    is emitted once per (server, carrier).
+
+    Args:
+        graph: Include the handoff-graph verifier in the preflight.
+            Default: the ``REPRO_LINT_GRAPH`` environment variable
+            (off unless set to a non-empty value other than "0").
     """
+    if graph is None:
+        graph = os.environ.get("REPRO_LINT_GRAPH", "0") not in ("", "0")
     per_server = _PREFLIGHT_CACHE.setdefault(server, {})
     cached = per_server.get(carrier)
     if cached is not None:
-        return cached[0]
-    report = lint_world(
-        env, server, carriers=(carrier,), max_cells_per_carrier=PREFLIGHT_MAX_CELLS
-    )
-    per_server[carrier] = (report, True)
+        return cached
+    memo_key = (world_digest(env, server.seed), server.seed, carrier, graph)
+    report = _PREFLIGHT_REPORTS.get(memo_key)
+    if report is None:
+        report = lint_world(
+            env,
+            server,
+            carriers=(carrier,),
+            max_cells_per_carrier=PREFLIGHT_MAX_CELLS,
+            graph=graph,
+            graph_analyzer=_PREFLIGHT_GRAPH_ANALYZER,
+        )
+        if len(_PREFLIGHT_REPORTS) >= _PREFLIGHT_REPORTS_LIMIT:
+            _PREFLIGHT_REPORTS.clear()
+        _PREFLIGHT_REPORTS[memo_key] = report
+    per_server[carrier] = report
     if report.findings:
         severities = report.counts_by_severity()
         codes = ", ".join(sorted(report.counts_by_code()))

@@ -43,7 +43,7 @@ class Finding:
     channel: int = -1
     subject: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
             raise ValueError(f"unknown severity {self.severity!r}")
 
@@ -56,9 +56,9 @@ class Finding:
         """
         return f"{self.code}:{self.carrier}:{self.gci}:{self.channel}:{self.subject}"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready representation (adds the fingerprint)."""
-        payload = asdict(self)
+        payload: dict[str, object] = asdict(self)
         payload["fingerprint"] = self.fingerprint
         return payload
 

@@ -1,0 +1,195 @@
+"""Synthetic misconfiguration scenarios for the graph verifier.
+
+The centerpiece is :func:`loop_fixture`: a deliberately misconfigured
+3-cell LTE deployment whose configurations chain every cell to the next
+one — cell 1 prefers cell 2's channel, 2 prefers 3's, 3 prefers 1's —
+with an A5 event whose serving threshold sits at the reporting ceiling
+(no serving requirement, paper Section 4.1).  The handoff-policy graph
+of this world contains a 3-layer cycle that is *statically guaranteed*
+(HC201), and a drive simulation of a stationary device demonstrably
+enters the loop.  The ``misconfigured=False`` twin keeps the same
+deployment but sane thresholds and flat priorities: the analyzer stays
+quiet and the simulator performs no handoffs.
+
+Configurations are injected through :class:`StaticConfigServer`, a
+:class:`~repro.rrc.broadcast.ConfigServer` whose cells broadcast fixed,
+caller-supplied configurations instead of profile-derived ones — the
+lint/simulator analogue of a table-driven unit-test double.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellnet.cell import Cell, CellId
+from repro.cellnet.deployment import DeploymentPlan
+from repro.cellnet.geo import Point
+from repro.cellnet.rat import RAT
+from repro.cellnet.world import RadioEnvironment
+from repro.config.events import EventConfig, EventType
+from repro.config.lte import (
+    InterFreqLayerConfig,
+    LteCellConfig,
+    MeasurementConfig,
+    ServingCellConfig,
+)
+from repro.rrc.broadcast import ConfigServer
+from repro.rrc.messages import RrcConnectionReconfiguration
+
+#: Carrier and LTE channels of the fixture (three of carrier A's
+#: holdings, so band/frequency lookups resolve normally).
+LOOP_CARRIER = "A"
+LOOP_CHANNELS = (850, 1975, 2000)
+
+#: City label of the fixture cells (not in the deployment catalog; the
+#: fixture builds its plan by hand).
+LOOP_CITY = "LoopFixture"
+
+#: Fixture plane origin, far away from every catalogued city.
+_ORIGIN = Point(5_000_000.0, 5_000_000.0)
+
+#: Triangle circumradius: small enough that a device at the centroid
+#: hears all three cells strongly.
+_RADIUS_M = 160.0
+
+
+class StaticConfigServer(ConfigServer):
+    """A config server broadcasting fixed per-cell configurations.
+
+    Overrides every configuration source a UE consults — the cached
+    base config, per-observation (churned) configs and the connected-
+    mode measConfig — so simulations and audits both see exactly the
+    injected configuration.
+    """
+
+    def __init__(
+        self, env: RadioEnvironment, configs: dict[CellId, LteCellConfig],
+        seed: int = 2018,
+    ) -> None:
+        super().__init__(env, seed=seed)
+        self.configs = dict(configs)
+
+    def lte_config(self, cell: Cell) -> LteCellConfig:
+        if cell.cell_id in self.configs:
+            return self.configs[cell.cell_id]
+        return super().lte_config(cell)
+
+    def observed_lte_config(
+        self, cell: Cell, obs_rng: np.random.Generator, days_since_first: float = 0.0
+    ) -> LteCellConfig:
+        if cell.cell_id in self.configs:
+            return self.configs[cell.cell_id]
+        return super().observed_lte_config(
+            cell, obs_rng, days_since_first=days_since_first
+        )
+
+    def connection_reconfiguration(
+        self, cell: Cell, obs_rng: np.random.Generator | None = None
+    ) -> RrcConnectionReconfiguration:
+        if cell.cell_id in self.configs:
+            return RrcConnectionReconfiguration(
+                meas_config=self.configs[cell.cell_id].measurement
+            )
+        return super().connection_reconfiguration(cell, obs_rng=obs_rng)
+
+
+@dataclass
+class LoopScenario:
+    """The fixture bundle: deployment, environment, injected configs."""
+
+    plan: DeploymentPlan
+    env: RadioEnvironment
+    server: StaticConfigServer
+    cells: tuple[Cell, ...]
+    #: Where a stationary drive should park to hear all three cells.
+    centroid: Point
+    misconfigured: bool
+
+
+def _cell_config(index: int, misconfigured: bool) -> LteCellConfig:
+    """Configuration of fixture cell ``index`` (0-based).
+
+    Misconfigured: the cell assigns the *next* channel in the ring a
+    much higher reselection priority (idle pull) and arms an A5 whose
+    serving threshold is the reporting ceiling — any audible neighbor
+    above -112 dBm triggers a handoff regardless of serving quality
+    (active pull).  Corrected: flat priorities, and an A5 that requires
+    the serving cell below -100 dBm while the target must exceed
+    -90 dBm — intervals that no stationary device near three strong
+    cells can satisfy (and whose loop windows are statically empty).
+    """
+    next_channel = LOOP_CHANNELS[(index + 1) % len(LOOP_CHANNELS)]
+    if misconfigured:
+        serving = ServingCellConfig(cell_reselection_priority=1, q_hyst=4.0)
+        layer = InterFreqLayerConfig(
+            dl_carrier_freq=next_channel,
+            cell_reselection_priority=7,
+            thresh_x_high_p=0.0,
+        )
+        event = EventConfig(
+            event=EventType.A5,
+            threshold1=-44.0,   # ceiling: no serving requirement
+            threshold2=-112.0,  # any audible neighbor qualifies
+            hysteresis=1.0,
+            time_to_trigger_ms=40,
+        )
+    else:
+        serving = ServingCellConfig(cell_reselection_priority=4, q_hyst=4.0)
+        layer = InterFreqLayerConfig(
+            dl_carrier_freq=next_channel,
+            cell_reselection_priority=4,
+            thresh_x_high_p=12.0,
+        )
+        event = EventConfig(
+            event=EventType.A5,
+            threshold1=-100.0,
+            threshold2=-90.0,
+            hysteresis=1.0,
+            time_to_trigger_ms=640,
+        )
+    return LteCellConfig(
+        serving=serving,
+        inter_freq_layers=(layer,),
+        measurement=MeasurementConfig(events=(event,), s_measure=-44.0),
+    )
+
+
+def loop_fixture(misconfigured: bool = True) -> LoopScenario:
+    """Build the 3-cell loop world (or its corrected twin).
+
+    Deterministic: same flag, same world, same configurations.
+    """
+    plan = DeploymentPlan()
+    centroid = _ORIGIN
+    cells = []
+    for index, channel in enumerate(LOOP_CHANNELS):
+        angle = 2.0 * np.pi * index / len(LOOP_CHANNELS)
+        location = centroid.offset(
+            _RADIUS_M * float(np.cos(angle)), _RADIUS_M * float(np.sin(angle))
+        )
+        cell = Cell(
+            cell_id=CellId(LOOP_CARRIER, plan.next_gci(LOOP_CARRIER)),
+            rat=RAT.LTE,
+            channel=channel,
+            pci=100 + index,
+            location=location,
+            city=LOOP_CITY,
+        )
+        plan.registry.add(cell)
+        cells.append(cell)
+    env = RadioEnvironment(plan)
+    configs = {
+        cell.cell_id: _cell_config(index, misconfigured)
+        for index, cell in enumerate(cells)
+    }
+    server = StaticConfigServer(env, configs)
+    return LoopScenario(
+        plan=plan,
+        env=env,
+        server=server,
+        cells=tuple(cells),
+        centroid=centroid,
+        misconfigured=misconfigured,
+    )

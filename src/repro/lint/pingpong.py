@@ -41,6 +41,9 @@ from repro.config.events import EventConfig, EventType
 #: Best possible RSRP (dBm): the spec's reporting ceiling.
 RSRP_CEILING_DBM = -44.0
 
+#: Worst possible RSRP (dBm): the spec's reporting floor.
+RSRP_FLOOR_DBM = -140.0
+
 #: Band (dB) under which shadow fading realistically crosses the A3
 #: forward/reverse separation; ~2 dB matches suburban shadowing sigma.
 A3_RISK_BAND_DB = 2.0
@@ -51,6 +54,86 @@ A3_RISK_TTT_MS = 160
 #: TTT (ms) at or below which a no-serving-requirement A5 is considered
 #: undamped (the profile population uses 640+ for coverage events).
 A5_RISK_TTT_MS = 640
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed signal-level interval ``[lo, hi]`` in dBm (or dB).
+
+    The symbolic building block shared by the 2-cell ping-pong algebra
+    here and the k-cell handoff-graph verifier in
+    :mod:`repro.lint.graph`: every feasible-transition edge carries the
+    interval of serving/target levels under which its trigger condition
+    holds.  ``lo > hi`` encodes the empty interval.
+    """
+
+    lo: float
+    hi: float
+
+    @property
+    def empty(self) -> bool:
+        """Whether no value satisfies the interval."""
+        return self.lo > self.hi
+
+    @property
+    def width(self) -> float:
+        """Length of the interval in dB (0 when empty)."""
+        return max(0.0, self.hi - self.lo)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The interval of values satisfying both constraints."""
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the (closed) interval."""
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        if self.empty:
+            return "(empty)"
+        return f"[{self.lo:g}, {self.hi:g}] dBm"
+
+
+#: Every reportable RSRP value: the unconstrained edge annotation.
+FULL_RSRP = Interval(RSRP_FLOOR_DBM, RSRP_CEILING_DBM)
+
+#: The canonical empty interval.
+EMPTY_INTERVAL = Interval(0.0, -1.0)
+
+
+def a3_separation_band(config: EventConfig) -> float:
+    """Separation band (dB) between forward and reverse A3 triggers.
+
+    ``2 * (Off + Hys)``: the band shadow fading must walk the serving/
+    neighbor difference across to re-trigger the reverse handoff.
+    """
+    return 2.0 * (config.offset + config.hysteresis)
+
+
+def a5_serving_interval(config: EventConfig) -> Interval:
+    """Serving levels under which the A5/B2 serving clause holds.
+
+    ``Ms + Hys < Thresh1`` (closed-interval approximation); a threshold
+    at the reporting ceiling places no requirement on the serving cell.
+    """
+    assert config.threshold1 is not None
+    return Interval(RSRP_FLOOR_DBM, config.threshold1 - config.hysteresis)
+
+
+def a5_neighbor_interval(config: EventConfig) -> Interval:
+    """Neighbor levels under which the A5/B2 neighbor clause holds.
+
+    ``Mn + Ofn - Hys > Thresh2`` with Ofn = 0 (frequency offsets are not
+    known statically).
+    """
+    assert config.threshold2 is not None
+    return Interval(config.threshold2 + config.hysteresis, RSRP_CEILING_DBM)
+
+
+def a4_neighbor_interval(config: EventConfig) -> Interval:
+    """Neighbor levels under which the A4/B1 entry condition holds."""
+    assert config.threshold1 is not None
+    return Interval(config.threshold1 + config.hysteresis, RSRP_CEILING_DBM)
 
 
 @dataclass(frozen=True)
@@ -78,7 +161,7 @@ def analyze_a3(config: EventConfig) -> PingPongRisk | None:
     """Symbolic ping-pong risk of one armed A3/A6 event, if any."""
     if config.event not in (EventType.A3, EventType.A6):
         return None
-    margin = 2.0 * (config.offset + config.hysteresis)
+    margin = a3_separation_band(config)
     if margin <= 0.0:
         return PingPongRisk(
             event=config.event.value,

@@ -9,6 +9,7 @@ scanning UIs can ingest fleet audits.
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 
 from repro.lint.engine import LintReport
 from repro.lint.rules import all_rules
@@ -32,6 +33,17 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
         f"{len(report.findings)} findings "
         f"({len(report.suppressed)} baseline-suppressed)"
     ]
+    stats = report.graph_stats
+    if stats is not None:
+        lines.append(
+            f"graph: {stats.cells} cells over {stats.layers} layers, "
+            f"{stats.edges} edges in {stats.components} components "
+            f"({stats.components_analyzed} analyzed, "
+            f"{stats.components_cached} cached); "
+            f"{stats.cycles_checked} cycles checked"
+            + (f" ({stats.cycles_truncated} components truncated)"
+               if stats.cycles_truncated else "")
+        )
     counts = report.counts_by_code()
     if counts:
         names = {rule.code: rule.name for rule in all_rules()}
@@ -62,7 +74,7 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
 
 def render_json(report: LintReport) -> str:
     """Machine-readable JSON report."""
-    payload = {
+    payload: dict[str, object] = {
         "version": JSON_REPORT_VERSION,
         "tool": "repro.lint",
         "snapshots_audited": report.snapshots_audited,
@@ -72,6 +84,8 @@ def render_json(report: LintReport) -> str:
         "suppressed": len(report.suppressed),
         "findings": [finding.to_dict() for finding in report.findings],
     }
+    if report.graph_stats is not None:
+        payload["graph_stats"] = asdict(report.graph_stats)
     return json.dumps(payload, indent=2)
 
 

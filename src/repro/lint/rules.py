@@ -7,7 +7,12 @@ A lint rule is a pure function over crawled configuration state:
   thresholds, ping-pong-prone event algebra);
 * **network** rules see every snapshot of an audit at once and catch
   emergent problems no single cell exhibits (priority preference loops,
-  inter-channel threshold gaps, conflicting priorities on one EARFCN).
+  inter-channel threshold gaps, conflicting priorities on one EARFCN);
+* **graph** rules run per connected component of the symbolic handoff-
+  policy graph (:mod:`repro.lint.graph`); the engine routes them through
+  the :class:`~repro.lint.graph.GraphAnalyzer` rather than the snapshot
+  pass, so they can shard over pipeline workers and cache per-component
+  results.
 
 Rules yield lightweight :class:`Issue` drafts; the engine stamps them
 into full :class:`~repro.lint.findings.Finding` records with the rule's
@@ -25,7 +30,7 @@ from repro.core.crawler import CellConfigSnapshot
 from repro.lint.findings import SEVERITIES, Finding
 
 #: Rule scopes.
-SCOPES = ("cell", "network")
+SCOPES = ("cell", "network", "graph")
 
 
 @dataclass(frozen=True)
@@ -68,17 +73,25 @@ class RegisteredRule:
     severity: str
     scope: str
     summary: str
-    func: Callable = field(compare=False)
+    func: Callable[..., Iterator[Issue]] = field(compare=False)
 
     def check(self, snapshots: list[CellConfigSnapshot]) -> Iterator[Finding]:
-        """Run the rule over an audit's snapshots, yielding findings."""
+        """Run the rule over an audit's snapshots, yielding findings.
+
+        Graph-scope rules do not run here — they execute per component
+        inside :func:`repro.lint.graph.analyze_component`.
+        """
         if self.scope == "cell":
             for snapshot in snapshots:
                 for issue in self.func(snapshot):
                     yield self._stamp(issue, snapshot)
-        else:
+        elif self.scope == "network":
             for issue in self.func(snapshots):
                 yield self._stamp(issue, None)
+
+    def stamp(self, issue: Issue) -> Finding:
+        """Stamp a standalone issue (graph rules) into a full finding."""
+        return self._stamp(issue, None)
 
     def _stamp(self, issue: Issue, snapshot: CellConfigSnapshot | None) -> Finding:
         carrier = issue.carrier if issue.carrier is not None else (
@@ -105,14 +118,18 @@ class RegisteredRule:
 _REGISTRY: dict[str, RegisteredRule] = {}
 
 
-def rule(code: str, name: str, *, scope: str, severity: str, summary: str):
+def rule(
+    code: str, name: str, *, scope: str, severity: str, summary: str
+) -> Callable[[Callable[..., Iterator[Issue]]], RegisteredRule]:
     """Register a check function as a lint rule.
 
     Args:
-        code: Stable ``HCnnn`` code (1xx = network scope by convention).
+        code: Stable ``HCnnn`` code (1xx = network scope, 2xx = graph
+            scope by convention).
         name: Human-readable kebab-case slug.
-        scope: "cell" (function takes one snapshot) or "network"
-            (function takes the full snapshot list).
+        scope: "cell" (function takes one snapshot), "network"
+            (function takes the full snapshot list) or "graph"
+            (function takes one policy-graph component).
         severity: Default severity; individual issues may override.
         summary: One-line description used by reporters and ``--help``.
     """
@@ -121,7 +138,7 @@ def rule(code: str, name: str, *, scope: str, severity: str, summary: str):
     if severity not in SEVERITIES:
         raise ValueError(f"unknown severity {severity!r}")
 
-    def register(func: Callable) -> RegisteredRule:
+    def register(func: Callable[..., Iterator[Issue]]) -> RegisteredRule:
         if code in _REGISTRY:
             raise ValueError(f"duplicate rule code {code}")
         registered = RegisteredRule(
@@ -158,4 +175,4 @@ def select_rules(codes: Iterable[str] | None = None) -> tuple[RegisteredRule, ..
 
 def _ensure_loaded() -> None:
     """Import the built-in rule modules (registration side effect)."""
-    from repro.lint import cell_rules, network_rules  # noqa: F401
+    from repro.lint import cell_rules, graph, network_rules  # noqa: F401

@@ -167,7 +167,9 @@ def test_committed_baseline_covers_default_fleet():
     server = ConfigServer(env, seed=2018)
     baseline_path = Path(__file__).resolve().parents[1] / "lint-baseline.json"
     baseline = Baseline.load(baseline_path)
-    report = lint_world(env, server, max_cells_per_carrier=60, baseline=baseline)
+    report = lint_world(
+        env, server, max_cells_per_carrier=60, baseline=baseline, graph=True
+    )
     assert report.findings == []
     assert len(report.suppressed) == len(baseline)
     assert baseline.unused(report.suppressed) == set()

@@ -39,13 +39,13 @@ def _codes(snapshots, only=None):
     return {f.code for f in report.findings}
 
 
-def test_registry_covers_both_scopes():
+def test_registry_covers_all_scopes():
     rules = all_rules()
     codes = [r.code for r in rules]
     assert codes == sorted(codes)
     assert len(codes) == len(set(codes))
-    assert {r.scope for r in rules} == {"cell", "network"}
-    assert len(rules) >= 16
+    assert {r.scope for r in rules} == {"cell", "network", "graph"}
+    assert len(rules) >= 20
 
 
 def test_hc001_domain_violation():
