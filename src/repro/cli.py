@@ -32,6 +32,23 @@ simulation) with the :mod:`repro.lint` rule engine::
     python -m repro lint --baseline lint-baseline.json --fail-on problem
     python -m repro lint --graph --workers 4   # + handoff-graph verifier
     python -m repro lint --graph --update-baseline
+    python -m repro lint --baseline lint-baseline.json --prune-baseline
+
+``snapshot`` captures a fleet's configuration state to a versioned
+file, and ``lint --diff`` gates on what changed between captures —
+reporting only findings *introduced* between them, each blamed on the
+configuration change that made it appear::
+
+    python -m repro snapshot --out capture-000.json --label before
+    python -m repro snapshot --out capture-001.json --label after
+    python -m repro lint --diff capture-000.json capture-001.json --fail-on any
+
+``evolve`` generates synthetic multi-capture timelines (retuning
+campaigns, patch rollouts, a deliberate loop regression) for drift-rule
+fixtures and CI::
+
+    python -m repro evolve --scenario loop-regression --steps 2 --out timeline/
+    python -m repro lint --diff timeline/snapshot-000.json timeline/snapshot-001.json
 """
 
 from __future__ import annotations
@@ -121,6 +138,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="run only these rule codes (e.g. HC002 HC103)")
     lint_parser.add_argument("--format", choices=("text", "json", "sarif"),
                              default="text", help="report format (default text)")
+    lint_parser.add_argument("--diff", nargs="+", default=None, metavar="SNAP",
+                             help="differential mode: 2+ snapshot files "
+                                  "(oldest first); audits the last two and "
+                                  "reports only findings introduced between "
+                                  "them, blamed on the responsible change; "
+                                  "earlier files feed the timeline rules "
+                                  "(HC303)")
     lint_parser.add_argument("--baseline", default=None, metavar="PATH",
                              help="suppress findings recorded in this baseline file")
     lint_parser.add_argument("--write-baseline", default=None, metavar="PATH",
@@ -129,6 +153,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="rewrite the suppression baseline in place "
                                   "(--baseline path, default lint-baseline.json) "
                                   "with all current findings")
+    lint_parser.add_argument("--prune-baseline", action="store_true",
+                             help="drop suppressions that no current finding "
+                                  "matches from the --baseline file and save "
+                                  "it back")
     lint_parser.add_argument("--graph", action="store_true",
                              help="also run the handoff-graph verifier "
                                   "(HC2xx: persistent loops, dead layers, "
@@ -148,29 +176,72 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--config-seed", type=int, default=2018,
                              help="configuration-profile seed (default 2018)")
     lint_parser.add_argument("--fail-on",
-                             choices=("never", "problem", "warning", "any"),
+                             choices=("never", "any", "info", "warning",
+                                      "problem"),
                              default="never",
                              help="exit non-zero at this severity; 'any' fails "
                                   "on every non-baselined finding "
                                   "(default never)")
     lint_parser.add_argument("--verbose", action="store_true",
                              help="list every finding in text reports")
+    snap_parser = subparsers.add_parser(
+        "snapshot", help="capture a fleet's configuration state to a file"
+    )
+    snap_parser.add_argument("--out", default="snapshot.json", metavar="PATH",
+                             help="output snapshot path (default snapshot.json)")
+    snap_parser.add_argument("--label", default="", metavar="NAME",
+                             help="capture label (default: the output filename)")
+    snap_parser.add_argument("--captured-day", type=float, default=0.0,
+                             metavar="D",
+                             help="observation day of the capture (default 0)")
+    snap_parser.add_argument("--city", default="world", metavar="NAME",
+                             help="'world' (default), 'us', a city name, or "
+                                  "'loop-fixture'")
+    snap_parser.add_argument("--carriers", nargs="*", default=None, metavar="C",
+                             help="restrict the capture to these carriers")
+    snap_parser.add_argument("--extra-rings", type=int, default=0, metavar="K",
+                             help="extra deployment rings for world captures")
+    snap_parser.add_argument("--max-cells", type=int, default=60, metavar="N",
+                             help="capture at most N cells per carrier, 0 = all "
+                                  "(default 60)")
+    snap_parser.add_argument("--seed", type=int, default=7,
+                             help="deployment seed (default 7)")
+    snap_parser.add_argument("--config-seed", type=int, default=2018,
+                             help="configuration-profile seed (default 2018)")
+    evolve_parser = subparsers.add_parser(
+        "evolve", help="generate a synthetic configuration-evolution timeline"
+    )
+    evolve_parser.add_argument("--scenario", default="retune",
+                               choices=("retune", "patch-rollout",
+                                        "loop-regression", "clean", "flapping"),
+                               help="evolution scenario (default retune)")
+    evolve_parser.add_argument("--steps", type=int, default=3, metavar="N",
+                               help="captures in the timeline (default 3)")
+    evolve_parser.add_argument("--out", default="timeline", metavar="DIR",
+                               help="output directory (default timeline/)")
+    evolve_parser.add_argument("--interval-days", type=float, default=30.0,
+                               metavar="D",
+                               help="days between captures (default 30)")
+    evolve_parser.add_argument("--config-seed", type=int, default=2018,
+                               help="configuration-profile seed (default 2018)")
     return parser
 
 
-def _run_lint(args: argparse.Namespace) -> int:
-    """Deploy the requested fleet and audit it with the lint engine."""
+def _resolve_fleet(args: argparse.Namespace):
+    """Deploy the fleet ``--city``/seeds select: ``(env, server)`` or None.
+
+    Shared by ``lint`` and ``snapshot`` so both commands audit/capture
+    exactly the same populations.  Prints to stderr and returns None for
+    an unknown city.
+    """
     from repro.cellnet.deployment import (
         DeploymentPlan,
         build_us_deployment,
-        build_world_deployment,
         city_by_name,
         deploy_city,
     )
     from repro.cellnet.world import RadioEnvironment
     from repro.datasets.d2 import d2_world
-    from repro.lint import Baseline, lint_world, render_text
-    from repro.lint.report import RENDERERS
     from repro.rrc.broadcast import ConfigServer
 
     if args.city == "world":
@@ -181,25 +252,66 @@ def _run_lint(args: argparse.Namespace) -> int:
             config_seed=args.config_seed,
             extra_rings=args.extra_rings,
         )
-        env, server = world.env, world.server
-    elif args.city == "loop-fixture":
+        return world.env, world.server
+    if args.city == "loop-fixture":
         from repro.lint.fixtures import loop_fixture
 
         scenario = loop_fixture(misconfigured=True)
-        env, server = scenario.env, scenario.server
+        return scenario.env, scenario.server
+    if args.city == "us":
+        plan = build_us_deployment(seed=args.seed)
     else:
-        if args.city == "us":
-            plan = build_us_deployment(seed=args.seed)
-        else:
-            try:
-                city = city_by_name(args.city)
-            except KeyError as error:
-                print(error.args[0], file=sys.stderr)
-                return 2
-            plan = DeploymentPlan()
-            deploy_city(city, plan, args.seed)
-        env = RadioEnvironment(plan)
-        server = ConfigServer(env, seed=args.config_seed)
+        try:
+            city = city_by_name(args.city)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return None
+        plan = DeploymentPlan()
+        deploy_city(city, plan, args.seed)
+    env = RadioEnvironment(plan)
+    return env, ConfigServer(env, seed=args.config_seed)
+
+
+def _run_lint_diff(args: argparse.Namespace) -> int:
+    """Differential audit of two (or a timeline of) snapshot files."""
+    from repro.lint import Baseline, ConfigSnapshot, diff_lint, exit_code
+    from repro.lint.report import DIFF_RENDERERS, render_diff_text
+
+    if len(args.diff) < 2:
+        print("--diff needs at least two snapshot files", file=sys.stderr)
+        return 2
+    try:
+        timeline = [ConfigSnapshot.load(path) for path in args.diff]
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    report = diff_lint(
+        timeline[-2],
+        timeline[-1],
+        timeline=timeline,
+        codes=args.rules,
+        baseline=baseline,
+        workers=args.workers,
+    )
+    if args.format == "text":
+        print(render_diff_text(report, verbose=args.verbose))
+    else:
+        print(DIFF_RENDERERS[args.format](report))
+    return exit_code(report.findings, args.fail_on)
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """Deploy the requested fleet and audit it with the lint engine."""
+    from repro.lint import Baseline, exit_code, lint_world, render_text
+    from repro.lint.report import RENDERERS
+
+    if args.diff is not None:
+        return _run_lint_diff(args)
+    fleet = _resolve_fleet(args)
+    if fleet is None:
+        return 2
+    env, server = fleet
     baseline_path = args.baseline
     if args.update_baseline and baseline_path is None:
         baseline_path = "lint-baseline.json"
@@ -222,6 +334,26 @@ def _run_lint(args: argparse.Namespace) -> int:
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
+    if baseline is not None:
+        # Scope staleness to the rules this audit actually ran: a
+        # non---graph run must not flag (or prune!) HC2xx suppressions
+        # it could never have re-confirmed.
+        matched = report.findings + report.suppressed
+        stale = baseline.unused(matched, rules_run=report.rules_run)
+        if stale and args.prune_baseline:
+            pruned = baseline.prune(matched, rules_run=report.rules_run)
+            baseline.save(baseline_path)
+            print(
+                f"# pruned {len(pruned)} stale suppressions from "
+                f"{baseline_path} ({len(baseline)} remain)",
+                file=sys.stderr,
+            )
+        elif stale:
+            print(
+                f"# {len(stale)} baseline suppressions no longer match any "
+                "finding; run with --prune-baseline to drop them",
+                file=sys.stderr,
+            )
     write_path = args.write_baseline
     if args.update_baseline:
         write_path = baseline_path
@@ -236,12 +368,53 @@ def _run_lint(args: argparse.Namespace) -> int:
         print(render_text(report, verbose=args.verbose))
     else:
         print(RENDERERS[args.format](report))
-    if args.fail_on == "any" and report.findings:
-        return 1
-    if args.fail_on == "problem" and report.has_problems:
-        return 1
-    if args.fail_on == "warning" and report.has_warnings:
-        return 1
+    return exit_code(report.findings, args.fail_on)
+
+
+def _run_snapshot(args: argparse.Namespace) -> int:
+    """Capture the selected fleet's configuration state to a file."""
+    from repro.lint import ConfigSnapshot
+
+    fleet = _resolve_fleet(args)
+    if fleet is None:
+        return 2
+    env, server = fleet
+    label = args.label or args.out
+    snapshot = ConfigSnapshot.capture_world(
+        env,
+        server,
+        label=label,
+        carriers=tuple(args.carriers) if args.carriers else None,
+        max_cells_per_carrier=args.max_cells,
+        captured_day=args.captured_day,
+    )
+    snapshot.save(args.out)
+    print(
+        f"# snapshot {label!r}: {len(snapshot)} cells "
+        f"(fleet digest {snapshot.fleet_digest}) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_evolve(args: argparse.Namespace) -> int:
+    """Generate a synthetic evolution timeline of snapshot files."""
+    from repro.datasets.evolve import EvolveOptions, evolve_timeline
+
+    options = EvolveOptions(
+        scenario=args.scenario,
+        steps=args.steps,
+        interval_days=args.interval_days,
+        seed=args.config_seed,
+    )
+    timeline = evolve_timeline(options)
+    paths = timeline.save(args.out)
+    print(
+        f"# {options.scenario} timeline: {len(paths)} captures of "
+        f"{len(timeline.snapshots[0])} cells -> "
+        f"{paths[0]} .. {paths[-1]}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -314,6 +487,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "snapshot":
+        return _run_snapshot(args)
+    if args.command == "evolve":
+        return _run_evolve(args)
     if args.command == "build-d1":
         return _run_build_d1(args)
     if args.command == "build-d2":

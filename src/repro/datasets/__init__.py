@@ -30,6 +30,9 @@ _LAZY = {
     "D2Options": "repro.datasets.d2",
     "build_d2": "repro.datasets.d2",
     "D2Build": "repro.datasets.d2",
+    "EvolveOptions": "repro.datasets.evolve",
+    "SnapshotTimeline": "repro.datasets.evolve",
+    "evolve_timeline": "repro.datasets.evolve",
 }
 
 
@@ -52,4 +55,7 @@ __all__ = [
     "build_d1",
     "D2Options",
     "build_d2",
+    "EvolveOptions",
+    "SnapshotTimeline",
+    "evolve_timeline",
 ]

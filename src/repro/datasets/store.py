@@ -63,8 +63,14 @@ class ConfigSampleStore:
         self._by_parameter = None
 
     def extend(self, samples: Iterable[ConfigSample]) -> None:
-        self._samples.extend(samples)
-        self._by_parameter = None
+        # Invalidate in a finally: ``list.extend`` keeps the elements it
+        # consumed before a mid-iteration exception, so bailing out
+        # before the invalidation would leave a stale index over a
+        # mutated sample list.
+        try:
+            self._samples.extend(samples)
+        finally:
+            self._by_parameter = None
 
     def ingest(self, batches: Iterable[Iterable[ConfigSample]]) -> int:
         """Stream batches of samples in (one batch per work unit).
@@ -74,9 +80,11 @@ class ConfigSampleStore:
         into the store as units complete.
         """
         before = len(self._samples)
-        for batch in batches:
-            self._samples.extend(batch)
-        self._by_parameter = None
+        try:
+            for batch in batches:
+                self._samples.extend(batch)
+        finally:
+            self._by_parameter = None
         return len(self._samples) - before
 
     def __len__(self) -> int:

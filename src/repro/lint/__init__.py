@@ -10,7 +10,8 @@ simulator.
 
 Layout:
 
-* :mod:`findings` — the :class:`Finding` result record;
+* :mod:`findings` — the :class:`Finding` result record, the shared
+  severity table and the ``--fail-on`` exit-code gate;
 * :mod:`rules` — the :class:`Rule` protocol, ``@rule`` decorator and
   registry of stable ``HCnnn`` codes;
 * :mod:`cell_rules` / :mod:`network_rules` — the built-in rules;
@@ -18,19 +19,45 @@ Layout:
   and the :class:`Interval` RSRP algebra it shares with the graph pass;
 * :mod:`graph` — the whole-network symbolic handoff-graph verifier
   (persistent k-cell loops, dead layers, priority inversions);
+* :mod:`snapshot` — versioned :class:`ConfigSnapshot` captures of a
+  fleet's configuration state (atomic saves, typed codec);
+* :mod:`diff` — the differential drift analyzer: semantic
+  :class:`ConfigChange` records between captures and the
+  :func:`diff_lint` regression gate;
+* :mod:`drift_rules` — the HC3xx drift rules evaluated over
+  ``(old, new, changes)``;
 * :mod:`fixtures` — deterministic misconfigured worlds for tests;
 * :mod:`engine` — snapshot/world audits and the simulation preflight;
 * :mod:`baseline` — suppression files for known-and-accepted findings;
-* :mod:`report` — text, JSON and SARIF renderers.
+* :mod:`report` — text, JSON and SARIF renderers (plus the ``diff``
+  variants that carry change blame).
 
 Quick start::
 
     from repro.lint import lint_world
     report = lint_world(scenario.env, scenario.server)
     print(report.counts_by_code())
+
+Drift gating::
+
+    from repro.lint import ConfigSnapshot, diff_lint
+    old = ConfigSnapshot.load("capture-000.json")
+    new = ConfigSnapshot.load("capture-001.json")
+    report = diff_lint(old, new)
+    print([f.code for f in report.findings], report.blame)
 """
 
 from repro.lint.baseline import Baseline
+from repro.lint.diff import (
+    CHANGE_KINDS,
+    ConfigChange,
+    DriftContext,
+    DriftReport,
+    blame_change,
+    diff_config_snapshots,
+    diff_lint,
+    flatten_cell,
+)
 from repro.lint.engine import (
     ConfigLintWarning,
     LintReport,
@@ -42,14 +69,29 @@ from repro.lint.engine import (
 )
 from repro.lint.findings import (
     SEVERITIES,
+    SEVERITY_RANK,
     Finding,
     count_by_severity,
+    exit_code,
     sort_findings,
     summarize,
 )
-from repro.lint.graph import GraphAnalyzer, GraphStats, build_components, cell_policy
+from repro.lint.graph import (
+    GraphAnalyzer,
+    GraphStats,
+    build_components,
+    cell_policy,
+    snapshot_digest,
+)
 from repro.lint.pingpong import FULL_RSRP, Interval
-from repro.lint.report import render_json, render_sarif, render_text
+from repro.lint.report import (
+    render_diff_json,
+    render_diff_sarif,
+    render_diff_text,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.lint.rules import (
     Issue,
     RegisteredRule,
@@ -59,10 +101,16 @@ from repro.lint.rules import (
     rule,
     select_rules,
 )
+from repro.lint.snapshot import ConfigSnapshot
 
 __all__ = [
     "Baseline",
+    "CHANGE_KINDS",
+    "ConfigChange",
     "ConfigLintWarning",
+    "ConfigSnapshot",
+    "DriftContext",
+    "DriftReport",
     "FULL_RSRP",
     "Finding",
     "GraphAnalyzer",
@@ -73,18 +121,28 @@ __all__ = [
     "RegisteredRule",
     "Rule",
     "SEVERITIES",
+    "SEVERITY_RANK",
     "all_rules",
+    "blame_change",
     "build_components",
     "cell_policy",
     "count_by_severity",
+    "diff_config_snapshots",
+    "diff_lint",
+    "exit_code",
+    "flatten_cell",
     "get_rule",
     "lint_snapshots",
     "lint_world",
+    "render_diff_json",
+    "render_diff_sarif",
+    "render_diff_text",
     "render_json",
     "render_sarif",
     "render_text",
     "rule",
     "select_rules",
+    "snapshot_digest",
     "snapshot_for_cell",
     "sort_findings",
     "summarize",

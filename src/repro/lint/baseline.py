@@ -102,10 +102,49 @@ class Baseline:
                 new.append(finding)
         return new, suppressed
 
-    def unused(self, findings: list[Finding]) -> set[str]:
-        """Suppressions that matched nothing (stale baseline entries)."""
+    def unused(
+        self,
+        findings: list[Finding],
+        rules_run: tuple[str, ...] | None = None,
+    ) -> set[str]:
+        """Suppressions that matched nothing (stale baseline entries).
+
+        When ``rules_run`` is given, only suppressions for rules that
+        actually executed are considered: a suppression for a rule the
+        audit never ran (filtered out with ``--rules``, or a graph rule
+        on a non-``--graph`` run) is unverifiable, not stale.
+        """
         seen = {finding.fingerprint for finding in findings}
-        return self.fingerprints - seen
+        stale = self.fingerprints - seen
+        if rules_run is not None:
+            ran = set(rules_run)
+            stale = {fp for fp in stale if fp.split(":", 1)[0] in ran}
+        return stale
+
+    def prune(
+        self,
+        findings: list[Finding],
+        rules_run: tuple[str, ...] | None = None,
+    ) -> set[str]:
+        """Drop suppressions that no audit finding matches, in place.
+
+        Returns the pruned fingerprints.  ``rules_run`` scopes the
+        staleness test exactly as in :meth:`unused` — pruning after a
+        partial audit must not discard suppressions the audit could
+        never have re-confirmed.  The ``codes`` legend is rebuilt from
+        the surviving suppressions so the saved file only documents
+        rules it still mentions.
+        """
+        stale = self.unused(findings, rules_run)
+        self.fingerprints -= stale
+        for fingerprint in stale:
+            self.messages.pop(fingerprint, None)
+        surviving_codes = {fp.split(":", 1)[0] for fp in self.fingerprints}
+        self.codes = {
+            code: name for code, name in self.codes.items()
+            if code in surviving_codes
+        }
+        return stale
 
     def __len__(self) -> int:
         return len(self.fingerprints)

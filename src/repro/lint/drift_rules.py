@@ -1,0 +1,248 @@
+"""Drift lint rules (codes HC301-HC305).
+
+These rules only make sense over *two or more* captures: they catch the
+regressions behind the paper's longitudinal findings (Section 5.3) —
+reconfigurations that introduce handoff loops, widen ping-pong windows,
+re-open inter-channel threshold gaps, or churn a parameter back and
+forth across a timeline.  Each sees a
+:class:`~repro.lint.diff.DriftContext` and is evaluated exclusively by
+:func:`~repro.lint.diff.diff_lint`.
+
+Code conventions (append-only, like every other HC family):
+
+==========  ==================================================
+HC301       change introduces a new handoff-loop finding
+HC302       serving/target threshold-gap regression
+HC303       parameter flaps across >= 3 timeline captures
+HC304       change widens a ping-pong RSRP window
+HC305       baseline suppression went stale with this change
+==========  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.crawler import CellConfigSnapshot
+from repro.lint.diff import blame_change, flatten_cell
+from repro.lint.pingpong import pingpong_window_db
+from repro.lint.rules import Issue, rule
+
+if TYPE_CHECKING:
+    from repro.lint.diff import DriftContext
+
+#: Finding codes that assert a handoff loop (priority SCC, guaranteed
+#: graph cycle, fading-assisted graph cycle) — the HC301 trigger set.
+LOOP_FINDING_CODES = ("HC103", "HC201", "HC202")
+
+#: Minimum timeline captures before flap detection (HC303) engages.
+FLAP_MIN_SNAPSHOTS = 3
+
+#: Minimum value transitions for a parameter to count as flapping.
+FLAP_MIN_TRANSITIONS = 2
+
+#: Float tolerance for "strictly worse" comparisons (HC302/HC304).
+_EPS = 1e-9
+
+
+def _blame_suffix(ctx: "DriftContext", finding_like: object) -> str:
+    """`` (introduced by <change>)`` for a finding, when attributable."""
+    from repro.lint.findings import Finding
+
+    assert isinstance(finding_like, Finding)
+    culprit = blame_change(finding_like, ctx.changes)
+    if culprit is None:
+        return ""
+    return f" (introduced by {culprit.describe()})"
+
+
+@rule("HC301", "drift-new-loop", scope="drift", severity="problem",
+      summary="A configuration change introduced a new handoff loop")
+def drift_new_loop(ctx: "DriftContext") -> Iterator[Issue]:
+    known = ctx.old_fingerprints
+    for finding in ctx.new_findings:
+        if finding.code not in LOOP_FINDING_CODES:
+            continue
+        if finding.fingerprint in known:
+            continue
+        yield Issue(
+            f"new {finding.code} loop not present in capture "
+            f"{ctx.old.label!r}: {finding.message}"
+            f"{_blame_suffix(ctx, finding)}",
+            carrier=finding.carrier,
+            gci=finding.gci,
+            channel=finding.channel,
+            subject=finding.fingerprint,
+        )
+
+
+def _gap_overlaps(
+    cells: tuple[CellConfigSnapshot, ...]
+) -> dict[tuple[str, int, int], float]:
+    """Positive leave/return overlaps per (carrier, X, Y) channel pair.
+
+    The HC104 algebra (see :mod:`repro.lint.network_rules`): devices
+    leave channel X downward below X's max ``thresh_serving_low_p`` and
+    return from Y once X exceeds the min ``thresh_x_high_p`` Y-cells
+    configure for X; any positive difference is a bounce region.
+    """
+    leave: dict[tuple[str, int, int], float] = {}
+    ret: dict[tuple[str, int, int], float] = {}
+    for snapshot in cells:
+        config = snapshot.lte_config
+        if config is None:
+            continue
+        own = config.serving.cell_reselection_priority
+        for layer in config.inter_freq_layers:
+            key = (snapshot.carrier, snapshot.channel, layer.dl_carrier_freq)
+            if layer.cell_reselection_priority < own:
+                threshold = config.serving.thresh_serving_low_p
+                leave[key] = max(leave.get(key, threshold), threshold)
+            elif layer.cell_reselection_priority > own:
+                threshold = layer.thresh_x_high_p
+                ret[key] = min(ret.get(key, threshold), threshold)
+    overlaps: dict[tuple[str, int, int], float] = {}
+    for (carrier, x, y), leave_at in leave.items():
+        return_at = ret.get((carrier, y, x))
+        if return_at is not None and return_at < leave_at:
+            overlaps[(carrier, x, y)] = leave_at - return_at
+    return overlaps
+
+
+@rule("HC302", "drift-threshold-gap-regression", scope="drift",
+      severity="warning",
+      summary="A change opened or widened an inter-channel threshold gap")
+def drift_threshold_gap_regression(ctx: "DriftContext") -> Iterator[Issue]:
+    old_overlaps = _gap_overlaps(ctx.old.cells)
+    new_overlaps = _gap_overlaps(ctx.new.cells)
+    for (carrier, x, y), overlap in sorted(new_overlaps.items()):
+        before = old_overlaps.get((carrier, x, y))
+        if before is not None and overlap <= before + _EPS:
+            continue
+        if before is None:
+            trend = f"opened a {overlap:g} dB reselection overlap"
+        else:
+            trend = (
+                f"widened the reselection overlap from {before:g} to "
+                f"{overlap:g} dB"
+            )
+        yield Issue(
+            f"threshold-gap regression between channels {x} and {y}: "
+            f"the change {trend} — idle devices bounce {x} -> {y} -> {x}",
+            carrier=carrier,
+            channel=x,
+            subject=f"{x}->{y}",
+        )
+
+
+@rule("HC303", "drift-flapping-parameter", scope="drift", severity="warning",
+      summary="A parameter churns back and forth across the timeline")
+def drift_flapping_parameter(ctx: "DriftContext") -> Iterator[Issue]:
+    timeline = ctx.timeline
+    if len(timeline) < FLAP_MIN_SNAPSHOTS:
+        return
+    # Per capture: (carrier, gci) -> flattened parameters.
+    flattened: list[dict[tuple[str, int], dict[str, object]]] = [
+        {(c.carrier, c.gci): flatten_cell(c) for c in snap.cells}
+        for snap in timeline
+    ]
+    cells = sorted({key for capture in flattened for key in capture})
+    for carrier, gci in cells:
+        series = [capture.get((carrier, gci)) for capture in flattened]
+        present = [s for s in series if s is not None]
+        if len(present) < FLAP_MIN_SNAPSHOTS:
+            continue
+        paths = sorted({path for flat in present for path in flat})
+        for path in paths:
+            values = [flat[path] for flat in present if path in flat]
+            if len(values) < FLAP_MIN_SNAPSHOTS:
+                continue
+            transitions = sum(
+                1 for before, after in zip(values, values[1:])
+                if before != after
+            )
+            # Flapping = repeated change that *revisits* values; a
+            # monotonic retuning campaign has distinct values at every
+            # transition and is deliberately not flagged.
+            if transitions < FLAP_MIN_TRANSITIONS:
+                continue
+            if len(set(map(repr, values))) > transitions:
+                continue
+            rendered = " -> ".join(repr(v) for v in values)
+            channel = next(
+                c.channel for c in ctx.new.cells + ctx.old.cells
+                if c.carrier == carrier and c.gci == gci
+            )
+            yield Issue(
+                f"parameter {path} flapped across "
+                f"{len(values)} captures ({rendered}): {transitions} "
+                "transitions revisiting earlier values suggests dueling "
+                "retunes rather than a campaign",
+                carrier=carrier,
+                gci=gci,
+                channel=channel,
+                subject=path,
+            )
+
+
+def _pingpong_windows(
+    snapshot: CellConfigSnapshot,
+) -> dict[str, float]:
+    """Max ping-pong window (dB) per armed event ``TYPE/metric`` key."""
+    windows: dict[str, float] = {}
+    if snapshot.lte_config is None:
+        return windows
+    meas = snapshot.meas_config or snapshot.lte_config.measurement
+    for event in meas.events:
+        key = f"{event.event.value}/{event.metric}"
+        width = pingpong_window_db(event)
+        windows[key] = max(windows.get(key, 0.0), width)
+    return windows
+
+
+@rule("HC304", "drift-pingpong-window-widened", scope="drift",
+      severity="warning",
+      summary="A change widened an event's ping-pong RSRP window")
+def drift_pingpong_window_widened(ctx: "DriftContext") -> Iterator[Issue]:
+    old_cells = {(c.carrier, c.gci): c for c in ctx.old.cells}
+    for cell in ctx.new.cells:
+        old_cell = old_cells.get((cell.carrier, cell.gci))
+        if old_cell is None:
+            continue
+        before = _pingpong_windows(old_cell)
+        after = _pingpong_windows(cell)
+        for key, width in sorted(after.items()):
+            previous = before.get(key, 0.0)
+            if width <= previous + _EPS:
+                continue
+            yield Issue(
+                f"event {key} ping-pong window widened from {previous:g} "
+                f"to {width:g} dB: the reverse trigger re-arms across a "
+                "larger signal range than before the change",
+                carrier=cell.carrier,
+                gci=cell.gci,
+                channel=cell.channel,
+                subject=key,
+            )
+
+
+@rule("HC305", "drift-stale-suppression", scope="drift", severity="info",
+      summary="A baseline suppression stopped firing with this change")
+def drift_stale_suppression(ctx: "DriftContext") -> Iterator[Issue]:
+    if ctx.baseline is None:
+        return
+    old_fps = ctx.old_fingerprints
+    new_fps = ctx.new_fingerprints
+    for fingerprint in sorted(ctx.baseline.fingerprints):
+        if fingerprint not in old_fps or fingerprint in new_fps:
+            continue
+        code, carrier, gci, channel, subject = fingerprint.split(":", 4)
+        yield Issue(
+            f"baseline suppression for {code} ({subject or 'no subject'}) "
+            "no longer fires after this change — run "
+            "`repro lint --prune-baseline` to retire it",
+            carrier=carrier,
+            gci=int(gci),
+            channel=int(channel),
+            subject=fingerprint,
+        )

@@ -107,7 +107,9 @@ def lint_snapshots(
     """
     if rules is None:
         rules = select_rules(codes)
-    snapshot_rules = tuple(r for r in rules if r.scope != "graph")
+    # Drift-scope rules need two captures; a single-capture audit can
+    # never run them (repro.lint.diff.diff_lint is their engine).
+    snapshot_rules = tuple(r for r in rules if r.scope not in ("graph", "drift"))
     graph_codes = tuple(r.code for r in rules if r.scope == "graph")
     findings: list[Finding] = []
     for registered in snapshot_rules:
@@ -120,7 +122,7 @@ def lint_snapshots(
             snapshots, codes=graph_codes, workers=workers
         )
         findings.extend(graph_findings)
-        rules_run = tuple(r.code for r in rules)
+        rules_run = tuple(r.code for r in snapshot_rules) + graph_codes
     findings = sort_findings(findings)
     suppressed: list[Finding] = []
     if baseline is not None:

@@ -17,6 +17,37 @@ from dataclasses import asdict, dataclass
 #: notable practices worth surfacing.
 SEVERITIES = ("info", "warning", "problem")
 
+#: The one severity table every consumer maps through.  Reporters,
+#: exit-code gates and tests all key off this — text output prints the
+#: severity name, JSON carries it verbatim, SARIF uses the ``sarif``
+#: column, and ``--fail-on`` thresholds compare the ``rank`` column.
+SEVERITY_RANK: dict[str, int] = {s: i for i, s in enumerate(SEVERITIES)}
+
+#: SARIF 2.1.0 ``level`` per severity (the ``sarif`` column of the
+#: shared table).  Re-exported by :mod:`repro.lint.report` as
+#: ``SARIF_LEVELS`` for backwards compatibility.
+SARIF_LEVELS = {"info": "note", "warning": "warning", "problem": "error"}
+
+#: Valid ``--fail-on`` gate values: a minimum severity, "any" (fail on
+#: any finding at all) or "never" (always exit 0; report-only mode).
+FAIL_ON_CHOICES = ("never", "any") + SEVERITIES
+
+
+def exit_code(findings: list["Finding"], fail_on: str) -> int:
+    """The process exit code one set of findings maps to.
+
+    The single gate shared by ``repro lint``, ``repro lint --diff`` and
+    CI: 0 when the findings pass the ``fail_on`` threshold, 1 otherwise.
+    """
+    if fail_on not in FAIL_ON_CHOICES:
+        raise ValueError(f"unknown fail-on threshold {fail_on!r}")
+    if fail_on == "never":
+        return 0
+    if fail_on == "any":
+        return 1 if findings else 0
+    floor = SEVERITY_RANK[fail_on]
+    return 1 if any(SEVERITY_RANK[f.severity] >= floor for f in findings) else 0
+
 
 @dataclass(frozen=True)
 class Finding:

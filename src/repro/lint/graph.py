@@ -218,8 +218,14 @@ class GraphStats:
 # Policy extraction: snapshot -> CellPolicy
 
 
-def _digest(snapshot: CellConfigSnapshot) -> str:
-    """Content digest of one cell's configuration (dataclass reprs)."""
+def snapshot_digest(snapshot: CellConfigSnapshot) -> str:
+    """Content digest of one cell's configuration (dataclass reprs).
+
+    Shared digest machinery: keys the per-component cache here and the
+    per-cell digests of :class:`repro.lint.snapshot.ConfigSnapshot`, so
+    the drift differ and the incremental graph verifier agree on what
+    "unchanged" means.
+    """
     text = repr((
         snapshot.carrier, snapshot.gci, snapshot.rat, snapshot.channel,
         snapshot.city, snapshot.lte_config, snapshot.legacy_config,
@@ -412,7 +418,7 @@ def cell_policy(snapshot: CellConfigSnapshot) -> CellPolicy | None:
         gci=snapshot.gci,
         city=snapshot.city,
         layer=LayerRef(snapshot.rat, snapshot.channel),
-        policy_digest=_digest(snapshot),
+        policy_digest=snapshot_digest(snapshot),
         serving_priority=priority,
         rules=tuple(rules),
     )

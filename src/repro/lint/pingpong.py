@@ -213,6 +213,35 @@ def analyze_a5(config: EventConfig) -> PingPongRisk | None:
     )
 
 
+def pingpong_window_db(config: EventConfig) -> float:
+    """Width (dB) of the signal-level window where a ping-pong can arm.
+
+    A scalar the drift rules can compare across captures (HC304):
+
+    * A3/A6 — overlap of forward and reverse trigger regions,
+      ``max(0, -separation_band)``; a positive separation band means no
+      overlap (0 dB window).
+    * A5/B2 (rsrp) — width of serving levels that satisfy *both* the
+      serving and (with the old serving as neighbor) the neighbor
+      clause: the window where the reverse event is armed right after a
+      handoff.
+    * Everything else (serving-only events, periodic) — 0.0.
+    """
+    if config.event in (EventType.A3, EventType.A6):
+        return max(0.0, -a3_separation_band(config))
+    if (
+        config.event in (EventType.A5, EventType.B2)
+        and config.metric == "rsrp"
+        and config.threshold1 is not None
+        and config.threshold2 is not None
+    ):
+        window = a5_serving_interval(config).intersect(
+            a5_neighbor_interval(config)
+        )
+        return window.width
+    return 0.0
+
+
 def analyze_event(config: EventConfig) -> PingPongRisk | None:
     """Dispatch to the right analyzer for one armed event."""
     if config.event in (EventType.A3, EventType.A6):

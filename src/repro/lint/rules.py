@@ -12,7 +12,12 @@ A lint rule is a pure function over crawled configuration state:
   policy graph (:mod:`repro.lint.graph`); the engine routes them through
   the :class:`~repro.lint.graph.GraphAnalyzer` rather than the snapshot
   pass, so they can shard over pipeline workers and cache per-component
-  results.
+  results;
+* **drift** rules see a :class:`~repro.lint.diff.DriftContext` — two
+  captures plus the semantic changes between them — and catch
+  *regressions*: problems a reconfiguration introduced that a
+  single-capture audit cannot attribute (:mod:`repro.lint.drift_rules`).
+  Only :func:`repro.lint.diff.diff_lint` runs them.
 
 Rules yield lightweight :class:`Issue` drafts; the engine stamps them
 into full :class:`~repro.lint.findings.Finding` records with the rule's
@@ -30,7 +35,7 @@ from repro.core.crawler import CellConfigSnapshot
 from repro.lint.findings import SEVERITIES, Finding
 
 #: Rule scopes.
-SCOPES = ("cell", "network", "graph")
+SCOPES = ("cell", "network", "graph", "drift")
 
 
 @dataclass(frozen=True)
@@ -79,7 +84,9 @@ class RegisteredRule:
         """Run the rule over an audit's snapshots, yielding findings.
 
         Graph-scope rules do not run here — they execute per component
-        inside :func:`repro.lint.graph.analyze_component`.
+        inside :func:`repro.lint.graph.analyze_component` — and neither
+        do drift-scope rules, which only
+        :func:`repro.lint.diff.diff_lint` evaluates.
         """
         if self.scope == "cell":
             for snapshot in snapshots:
@@ -125,11 +132,12 @@ def rule(
 
     Args:
         code: Stable ``HCnnn`` code (1xx = network scope, 2xx = graph
-            scope by convention).
+            scope, 3xx = drift scope by convention).
         name: Human-readable kebab-case slug.
         scope: "cell" (function takes one snapshot), "network"
-            (function takes the full snapshot list) or "graph"
-            (function takes one policy-graph component).
+            (function takes the full snapshot list), "graph" (function
+            takes one policy-graph component) or "drift" (function
+            takes a :class:`~repro.lint.diff.DriftContext`).
         severity: Default severity; individual issues may override.
         summary: One-line description used by reporters and ``--help``.
     """
@@ -175,4 +183,9 @@ def select_rules(codes: Iterable[str] | None = None) -> tuple[RegisteredRule, ..
 
 def _ensure_loaded() -> None:
     """Import the built-in rule modules (registration side effect)."""
-    from repro.lint import cell_rules, graph, network_rules  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        cell_rules,
+        drift_rules,
+        graph,
+        network_rules,
+    )

@@ -1,0 +1,65 @@
+"""Tests for the synthetic configuration-evolution generator."""
+
+import pytest
+
+from repro.datasets import EvolveOptions, SnapshotTimeline, evolve_timeline
+from repro.lint import ConfigSnapshot
+from repro.lint.snapshot import SNAPSHOT_VERSION
+
+
+def test_options_validate():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        EvolveOptions(scenario="meltdown")
+    with pytest.raises(ValueError, match="at least 2"):
+        EvolveOptions(steps=1)
+
+
+def test_timeline_is_deterministic():
+    a = evolve_timeline(EvolveOptions(scenario="retune", steps=3))
+    b = evolve_timeline(EvolveOptions(scenario="retune", steps=3))
+    assert [s.fleet_digest for s in a.snapshots] == \
+        [s.fleet_digest for s in b.snapshots]
+    assert a.snapshots[0].cells == b.snapshots[0].cells
+
+
+def test_labels_and_days_follow_the_axis():
+    tl = evolve_timeline(EvolveOptions(scenario="clean", steps=3,
+                                       interval_days=10.0))
+    assert [s.label for s in tl.snapshots] == \
+        ["clean-000", "clean-001", "clean-002"]
+    assert [s.captured_day for s in tl.snapshots] == [0.0, 10.0, 20.0]
+
+
+def test_retune_walks_thresholds_monotonically():
+    tl = evolve_timeline(EvolveOptions(scenario="retune", steps=3))
+    values = [
+        snap.cells[0].lte_config.inter_freq_layers[0].thresh_x_high_p
+        for snap in tl.snapshots
+    ]
+    assert values == [12.0, 10.0, 8.0]
+
+
+def test_loop_regression_changes_only_the_final_capture():
+    tl = evolve_timeline(EvolveOptions(scenario="loop-regression", steps=3))
+    digests = [s.fleet_digest for s in tl.snapshots]
+    assert digests[0] == digests[1]
+    assert digests[1] != digests[2]
+
+
+def test_flapping_alternates_q_hyst():
+    tl = evolve_timeline(EvolveOptions(scenario="flapping", steps=4))
+    values = [
+        snap.cells[0].lte_config.serving.q_hyst for snap in tl.snapshots
+    ]
+    assert values == [4.0, 6.0, 4.0, 6.0]
+
+
+def test_save_writes_loadable_numbered_snapshots(tmp_path):
+    tl = evolve_timeline(EvolveOptions(scenario="patch-rollout", steps=2))
+    assert isinstance(tl, SnapshotTimeline) and len(tl) == 2
+    paths = tl.save(tmp_path / "out")
+    assert [p.name for p in paths] == ["snapshot-000.json", "snapshot-001.json"]
+    loaded = ConfigSnapshot.load(paths[1])
+    assert loaded.label == "patch-rollout-001"
+    assert loaded.cells == tl.snapshots[1].cells
+    assert SNAPSHOT_VERSION == 1

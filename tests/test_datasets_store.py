@@ -197,6 +197,33 @@ def test_parameter_index_invalidated_on_mutation():
     }
 
 
+def test_parameter_index_invalidated_when_mutation_raises():
+    """A generator that dies mid-extend/ingest still mutates the list
+    (``list.extend`` keeps consumed elements), so the lazy index must be
+    invalidated even on the exception path."""
+
+    def exploding_samples():
+        yield _sample(gci=2, parameter="p_max", value=23)
+        raise RuntimeError("source died")
+
+    store = ConfigSampleStore([_sample(gci=1)])
+    assert store.parameters() == ["q_hyst"]  # builds the index
+    with pytest.raises(RuntimeError):
+        store.extend(exploding_samples())
+    assert len(store) == 2  # the consumed sample did land
+    assert store.parameters() == ["p_max", "q_hyst"]
+    assert store.samples_per_cell("p_max") == {("A", 2): 1}
+
+    def exploding_batches():
+        yield [_sample(gci=3, parameter="p_max", value=20)]
+        raise RuntimeError("source died")
+
+    assert store.parameters() == ["p_max", "q_hyst"]  # rebuild the index
+    with pytest.raises(RuntimeError):
+        store.ingest(exploding_batches())
+    assert store.samples_per_cell("p_max") == {("A", 2): 1, ("A", 3): 1}
+
+
 # -- iterator ingest ----------------------------------------------------------
 
 def test_ingest_streams_batches_lazily():

@@ -13,6 +13,7 @@ from repro.core.crawler import CellConfigSnapshot
 from repro.lint import (
     Baseline,
     ConfigLintWarning,
+    Finding,
     lint_snapshots,
     lint_world,
     render_json,
@@ -81,6 +82,84 @@ def test_baseline_rejects_unknown_version(tmp_path):
     path.write_text(json.dumps({"version": 99, "suppressions": []}))
     with pytest.raises(ValueError, match="version"):
         Baseline.load(path)
+
+
+def test_baseline_from_findings_roundtrip_with_duplicate_fingerprints(tmp_path):
+    """Two findings sharing a fingerprint (same code/cell/subject,
+    different message) collapse into one suppression; the first message
+    wins as the exemplar and the file round-trips losslessly."""
+    first = lint_snapshots([_bad_snapshot()]).findings[0]
+    import dataclasses
+
+    reworded = dataclasses.replace(first, message="same defect, new words")
+    assert first.fingerprint == reworded.fingerprint
+    baseline = Baseline.from_findings([first, reworded, first])
+    assert len(baseline) == 1
+    assert baseline.messages[first.fingerprint] == first.message
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    reloaded = Baseline.load(path)
+    assert reloaded.fingerprints == baseline.fingerprints
+    assert reloaded.messages == baseline.messages
+    assert reloaded.split([first, reworded]) == ([], [first, reworded])
+
+
+def test_baseline_prune_drops_only_stale_entries():
+    report = lint_snapshots([_bad_snapshot()])
+    baseline = Baseline.from_findings(report.findings)
+    ghost = Finding(code="HC001", severity="info", carrier="Z", gci=99,
+                    message="long gone")
+    baseline.fingerprints.add(ghost.fingerprint)
+    baseline.messages[ghost.fingerprint] = ghost.message
+    baseline.codes["HC001"] = "ghost-rule"
+    pruned = baseline.prune(report.findings)
+    assert pruned == {ghost.fingerprint}
+    assert ghost.fingerprint not in baseline.messages
+    assert "HC001" not in baseline.codes  # legend follows the survivors
+    assert baseline.unused(report.findings) == set()
+    # Idempotent on an already-clean baseline.
+    assert baseline.prune(report.findings) == set()
+
+
+def test_prune_scoped_to_rules_run_spares_unexecuted_rules():
+    """A graph-rule suppression must survive a non-graph audit's prune:
+    the audit never ran HC201, so it cannot call the entry stale."""
+    report = lint_snapshots([_bad_snapshot()])
+    baseline = Baseline.from_findings(report.findings)
+    graph_fp = "HC201:A:1:850:layer-cycle"
+    baseline.fingerprints.add(graph_fp)
+    baseline.codes["HC201"] = "k-cell-loop-active"
+    assert graph_fp in baseline.unused(report.findings)  # unscoped: stale
+    scoped = baseline.unused(report.findings, rules_run=report.rules_run)
+    assert graph_fp not in scoped
+    assert baseline.prune(report.findings, rules_run=report.rules_run) == set()
+    assert graph_fp in baseline.fingerprints
+    assert "HC201" in baseline.codes
+
+
+def test_cli_lint_prune_baseline(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    assert main(["lint", "--city", "Lafayette", "--max-cells", "3",
+                 "--write-baseline", str(baseline_path)]) == 0
+    capsys.readouterr()
+    stale = Baseline.load(baseline_path)
+    stale.fingerprints.add("HC001:Z:99:-1:")
+    stale.save(baseline_path)
+    # Without --prune-baseline the stale entry is surfaced, not dropped.
+    assert main(["lint", "--city", "Lafayette", "--max-cells", "3",
+                 "--baseline", str(baseline_path)]) == 0
+    err = capsys.readouterr().err
+    assert "no longer match" in err and "--prune-baseline" in err
+    assert "HC001:Z:99:-1:" in Baseline.load(baseline_path).fingerprints
+    assert main(["lint", "--city", "Lafayette", "--max-cells", "3",
+                 "--baseline", str(baseline_path), "--prune-baseline"]) == 0
+    err = capsys.readouterr().err
+    assert "pruned 1 stale suppression" in err
+    assert "HC001:Z:99:-1:" not in Baseline.load(baseline_path).fingerprints
+    # A clean baseline prunes nothing and stays quiet.
+    assert main(["lint", "--city", "Lafayette", "--max-cells", "3",
+                 "--baseline", str(baseline_path), "--prune-baseline"]) == 0
+    assert "pruned" not in capsys.readouterr().err
 
 
 def test_baseline_survives_message_rewording():
