@@ -1,0 +1,179 @@
+"""Fleet-simulation benchmark and perf-regression gate.
+
+Times a whole-population fleet run (the default daytime urban mix:
+parked phones, pedestrians, transit riders, drivers) through
+:func:`repro.simulate.fleet.run_fleet`, asserts one mover's outputs
+are bit-identical to a solo :class:`DriveSimulator` run, and reports
+aggregate UE-ticks per second next to the committed single-UE
+tick-loop baseline (``BENCH_TICKLOOP.json``).
+
+Usage:
+
+    python benchmarks/bench_fleet.py                    # print timings
+    python benchmarks/bench_fleet.py --ues 500 --out BENCH_FLEET.json
+    python benchmarks/bench_fleet.py --ues 500 --duration 60 \
+        --check BENCH_FLEET.json --threshold 2.0        # CI gate
+
+``--check`` compares the measured aggregate throughput against the
+committed baseline and exits non-zero when it has regressed by more
+than ``--threshold`` (generous, to absorb machine variance; the solo
+bit-parity assertion is exact either way).  CI uses a shorter
+``--duration`` than the committed baseline: per-lane-tick cost is
+duration-independent at equal fleet size, so the rates compare.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.simulate.fleet import (
+    FleetOptions,
+    FleetSimulator,
+    make_traffic,
+    run_fleet,
+    trajectory_for,
+    ue_specs,
+)
+from repro.simulate.runner import DriveSimulator
+from repro.simulate.scenarios import ScenarioSpec
+
+#: Single-UE vectorized tick-loop throughput on the reference machine
+#: (fallback when BENCH_TICKLOOP.json is not found next to the repo
+#: root; the committed file is authoritative).
+SOLO_TICKS_PER_S_FALLBACK = 6418.6
+
+
+def solo_baseline(path: Path) -> float:
+    """The committed single-UE vectorized ticks/s, with a fallback."""
+    try:
+        return float(json.loads(path.read_text())["vectorized_ticks_per_s"])
+    except (OSError, ValueError, KeyError):
+        return SOLO_TICKS_PER_S_FALLBACK
+
+
+def assert_solo_parity(options: FleetOptions, probe_index: int) -> None:
+    """Fleet UE ``probe_index`` must equal its solo drive bit-for-bit."""
+    probe = FleetOptions(
+        scenario=options.scenario,
+        fleet_seed=options.fleet_seed,
+        n_ues=probe_index + 1,
+        duration_s=options.duration_s,
+        tick_ms=options.tick_ms,
+        carriers=options.carriers,
+        mix=options.mix,
+        transit_lines=options.transit_lines,
+        traffic=options.traffic,
+        keep_samples=True,
+    )
+    scenario = probe.scenario.build()
+    fleet_ue = FleetSimulator(scenario, probe).simulate()[probe_index]
+    spec = ue_specs(probe)[probe_index]
+    solo = DriveSimulator(
+        scenario.env, scenario.server, spec.carrier, seed=spec.seed, config_lint=False
+    ).run(trajectory_for(scenario, probe, spec), make_traffic(probe.traffic))
+    if (
+        solo.samples != fleet_ue.samples
+        or solo.handoffs != fleet_ue.handoffs
+        or solo.diag_log != fleet_ue.diag_log
+        or solo.ping_rtts_ms != fleet_ue.ping_rtts_ms
+    ):
+        raise AssertionError(
+            f"fleet UE #{probe_index} ({spec.profile}) diverged from its "
+            "solo DriveSimulator run"
+        )
+
+
+def measure(n_ues: int, duration_s: float, workers: int, solo_rate: float) -> dict:
+    """Benchmark one fleet run (scenario prebuilt, outside the clock)."""
+    options = FleetOptions(n_ues=n_ues, duration_s=duration_s)
+    options.scenario.build()  # process-cached; keep the build off the clock
+    result = run_fleet(options, workers=workers)
+    rate = result.ue_ticks_per_s
+    return {
+        "scenario": options.scenario.name,
+        "mix": dict((name, weight) for name, weight in options.mix),
+        "n_ues": n_ues,
+        "duration_s": duration_s,
+        "tick_ms": options.tick_ms,
+        "fleet_seed": options.fleet_seed,
+        "workers": workers,
+        "total_ticks": result.aggregates.total_ticks,
+        "total_handoffs": result.aggregates.total_handoffs,
+        "elapsed_s": round(result.elapsed_s, 2),
+        "ue_ticks_per_s": round(rate, 1),
+        "solo_vectorized_ticks_per_s": solo_rate,
+        "speedup_vs_solo": round(rate / solo_rate, 2),
+        "snapshot_cache_hit_rate": round(
+            result.snapshot_cache.get("hit_rate", 0.0), 4
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ues", type=int, default=500,
+                        help="fleet population (default 500)")
+    parser.add_argument("--duration", type=float, default=600.0,
+                        help="per-UE simulated seconds (default 600)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--probe-index", type=int, default=2,
+                        help="UE index for the solo bit-parity assertion "
+                             "(default 2, a pedestrian)")
+    parser.add_argument("--skip-parity", action="store_true",
+                        help="skip the solo parity assertion (timing only)")
+    parser.add_argument("--solo-baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_TICKLOOP.json",
+                        help="single-UE baseline JSON to compare against")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the result JSON here (the committed baseline)")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="compare against a committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="max tolerated slowdown vs the baseline (default 2.0)")
+    args = parser.parse_args(argv)
+
+    if not args.skip_parity:
+        start = time.perf_counter()
+        assert_solo_parity(FleetOptions(), args.probe_index)
+        print(
+            f"# solo parity OK (UE #{args.probe_index}, "
+            f"{time.perf_counter() - start:.1f}s)",
+            file=sys.stderr,
+        )
+    result = measure(
+        args.ues, args.duration, args.workers, solo_baseline(args.solo_baseline)
+    )
+    print(json.dumps(result, indent=2))
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"baseline written to {args.out}", file=sys.stderr)
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        floor = baseline["ue_ticks_per_s"] / args.threshold
+        measured = result["ue_ticks_per_s"]
+        if measured < floor:
+            print(
+                f"FAIL: fleet at {measured:.0f} UE-ticks/s, below "
+                f"{floor:.0f} (baseline {baseline['ue_ticks_per_s']:.0f} "
+                f"/ threshold {args.threshold})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: {measured:.0f} UE-ticks/s >= {floor:.0f} "
+            f"(baseline / {args.threshold})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,18 @@ class CellId:
     carrier: str
     gci: int
 
+    def __post_init__(self) -> None:
+        # Cell identities key nearly every hot dict in the simulator
+        # (prepared-cell indexes, measurement memos, load shares,
+        # occupancy counters); the generated dataclass __hash__ would
+        # rebuild and hash a field tuple per lookup.  The cached value
+        # is exactly the generated one, so set/dict behavior (including
+        # iteration order) is unchanged.
+        object.__setattr__(self, "_hash", hash((self.carrier, self.gci)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return f"{self.carrier}/{self.gci}"
 

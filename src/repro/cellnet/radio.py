@@ -204,21 +204,87 @@ class RadioModel:
                              kx=kx, ky=ky, phase=phase)
 
     def rsrp_prepared(self, prepared: "PreparedCells", location: Point) -> np.ndarray:
-        """Vectorized RSRP over a prepared cell set at one location."""
+        """Vectorized RSRP over a prepared cell set at one location.
+
+        Every operation mirrors the original expression op for op (same
+        ufuncs, same order), only routed through per-prepared scratch
+        buffers so the per-tick hot path stops paying one allocation per
+        intermediate.  Only the returned array is freshly allocated —
+        snapshots outlive the call and must not alias the scratch.
+        """
         if not prepared.cells:
             return np.zeros(0)
-        distance = np.maximum(
-            np.hypot(prepared.xs - location.x, prepared.ys - location.y), _REF_DISTANCE_M
-        )
-        path_loss = (
-            self.reference_loss_db
-            + 10.0 * self.path_loss_exponent * np.log10(distance / _REF_DISTANCE_M)
-            + prepared.freq_term
-        )
-        shadow = np.cos(
-            prepared.kx * location.x + prepared.ky * location.y + prepared.phase
-        ).sum(axis=1) * self.shadowing.sigma_db * math.sqrt(2.0 / self.shadowing.n_components)
-        return np.clip(prepared.tx - path_loss + shadow, -140.0, -44.0)
+        n = len(prepared.cells)
+        scratch = prepared._scratch
+        if not scratch:
+            scratch["pl"] = np.empty(n)
+            scratch["wave"] = np.empty_like(prepared.kx)
+            scratch["wave2"] = np.empty_like(prepared.kx)
+            scratch["shadow"] = np.empty(n)
+        pl, shadow = scratch["pl"], scratch["shadow"]
+        wave, wave2 = scratch["wave"], scratch["wave2"]
+        out = np.empty(n)
+        # distance = maximum(hypot(xs - x, ys - y), d0); PL = PL0
+        # + 10*n*log10(distance/d0) + freq_term, exactly as before.
+        np.subtract(prepared.xs, location.x, out=out)
+        np.subtract(prepared.ys, location.y, out=pl)
+        np.hypot(out, pl, out=pl)
+        np.maximum(pl, _REF_DISTANCE_M, out=pl)
+        np.divide(pl, _REF_DISTANCE_M, out=pl)
+        np.log10(pl, out=pl)
+        np.multiply(pl, 10.0 * self.path_loss_exponent, out=pl)
+        np.add(pl, self.reference_loss_db, out=pl)
+        np.add(pl, prepared.freq_term, out=pl)
+        # shadow = cos(kx*x + ky*y + phase).sum(axis=1) * sigma * sqrt(2/K).
+        np.multiply(prepared.kx, location.x, out=wave)
+        np.multiply(prepared.ky, location.y, out=wave2)
+        np.add(wave, wave2, out=wave)
+        np.add(wave, prepared.phase, out=wave)
+        np.cos(wave, out=wave)
+        np.sum(wave, axis=1, out=shadow)
+        np.multiply(shadow, self.shadowing.sigma_db, out=shadow)
+        np.multiply(shadow, math.sqrt(2.0 / self.shadowing.n_components), out=shadow)
+        np.subtract(prepared.tx, pl, out=out)
+        np.add(out, shadow, out=out)
+        return np.clip(out, -140.0, -44.0, out=out)
+
+    def rsrp_prepared_batch(
+        self, prepared: "PreparedCells", xs: np.ndarray, ys: np.ndarray
+    ) -> np.ndarray:
+        """RSRP rows for many locations over one prepared cell set.
+
+        Row ``s`` is bit-identical to
+        ``rsrp_prepared(prepared, Point(xs[s], ys[s]))``: the identical
+        ufunc chain in the identical order, broadcast over a leading
+        location axis.  Even the shadow-fading reduction keeps its
+        summation order — each (location, cell) component row stays
+        contiguous, so the pairwise sum matches the single-location
+        call element for element.
+        """
+        if not prepared.cells:
+            return np.zeros((len(xs), 0))
+        xcol = xs[:, None]
+        ycol = ys[:, None]
+        out = np.subtract(prepared.xs, xcol)
+        pl = np.subtract(prepared.ys, ycol)
+        np.hypot(out, pl, out=pl)
+        np.maximum(pl, _REF_DISTANCE_M, out=pl)
+        np.divide(pl, _REF_DISTANCE_M, out=pl)
+        np.log10(pl, out=pl)
+        np.multiply(pl, 10.0 * self.path_loss_exponent, out=pl)
+        np.add(pl, self.reference_loss_db, out=pl)
+        np.add(pl, prepared.freq_term, out=pl)
+        wave = np.multiply(prepared.kx, xs[:, None, None])
+        wave2 = np.multiply(prepared.ky, ys[:, None, None])
+        np.add(wave, wave2, out=wave)
+        np.add(wave, prepared.phase, out=wave)
+        np.cos(wave, out=wave)
+        shadow = np.sum(wave, axis=2)
+        np.multiply(shadow, self.shadowing.sigma_db, out=shadow)
+        np.multiply(shadow, math.sqrt(2.0 / self.shadowing.n_components), out=shadow)
+        np.subtract(prepared.tx, pl, out=out)
+        np.add(out, shadow, out=out)
+        return np.clip(out, -140.0, -44.0, out=out)
 
     def rsrp_many(self, cells: list[Cell], location: Point) -> np.ndarray:
         """Vectorized RSRP of many cells at one location."""
@@ -277,6 +343,9 @@ class PreparedCells:
     phase: np.ndarray
     _rat_masks: dict = field(default_factory=dict, repr=False)
     _intra_masks: dict = field(default_factory=dict, repr=False)
+    #: Reusable intermediates of ``rsrp_prepared`` (one set per prepared
+    #: neighborhood; the simulation is single-threaded).
+    _scratch: dict = field(default_factory=dict, repr=False)
 
     @cached_property
     def cell_ids(self) -> list:
@@ -341,6 +410,9 @@ class RadioSnapshot:
         self._rsrp = rsrp
         #: Lazily computed (rsrq, sinr, power_mw, own_totals_mw) bundle.
         self._metrics: tuple | None = None
+        #: Per-cell :class:`Measurement` memo — parked/co-located UEs ask
+        #: the same snapshot for the same serving cell tick after tick.
+        self._measure_memo: dict = {}
 
     @property
     def cells(self) -> list[Cell]:
@@ -387,13 +459,35 @@ class RadioSnapshot:
         rsrq, sinr, _, _ = self._compute_metrics()
         return self._rsrp, rsrq, sinr
 
+    def prime_metrics(
+        self,
+        rsrq: np.ndarray,
+        sinr: np.ndarray,
+        power_mw: np.ndarray,
+        own_totals: np.ndarray,
+    ) -> None:
+        """Install externally computed metric arrays (fleet batching).
+
+        The arrays must be exactly what :meth:`_compute_metrics` would
+        have produced for this snapshot's RSRP — the fleet simulator
+        computes them for many snapshots in one batched pass
+        (:func:`compute_metrics_batch`) and hands each snapshot its row.
+        """
+        if self._metrics is None:
+            self._metrics = (rsrq, sinr, power_mw, own_totals)
+
     def measure(self, cell: Cell) -> Measurement:
-        """Full measurement of one snapshot cell."""
-        i = self.prepared.index[cell.cell_id]
-        rsrp = float(self._rsrp[i])
-        _, _, power_mw, own_totals = self._compute_metrics()
-        interference_mw = max(float(own_totals[i]) - float(power_mw[i]), 0.0)
-        return self._model._finish_measurement(cell, rsrp, interference_mw)
+        """Full measurement of one snapshot cell (memoized per cell)."""
+        memo = self._measure_memo
+        measurement = memo.get(cell.cell_id)
+        if measurement is None:
+            i = self.prepared.index[cell.cell_id]
+            rsrp = float(self._rsrp[i])
+            _, _, power_mw, own_totals = self._compute_metrics()
+            interference_mw = max(float(own_totals[i]) - float(power_mw[i]), 0.0)
+            measurement = self._model._finish_measurement(cell, rsrp, interference_mw)
+            memo[cell.cell_id] = measurement
+        return measurement
 
     def strongest(self, rat: RAT | None = None) -> Cell | None:
         """Strongest cell in the snapshot, optionally of one RAT."""
@@ -405,3 +499,30 @@ class RadioSnapshot:
         if not candidates.size:
             return None
         return self.cells[int(candidates[np.argmax(self._rsrp[candidates])])]
+
+
+def compute_metrics_batch(
+    prepared: PreparedCells, rsrp_mat: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(rsrq, sinr, power_mw, own_totals) for many snapshots at once.
+
+    ``rsrp_mat`` stacks the RSRP rows of several snapshots over the same
+    prepared cell list (UE x cell).  Row ``g`` of every returned array is
+    bit-identical to what :meth:`RadioSnapshot._compute_metrics` computes
+    from ``rsrp_mat[g]`` alone: every operation is elementwise, and the
+    batched ``np.add.at`` iterates its indices in row-major order, which
+    preserves each row's per-group accumulation order.
+    """
+    power_mw = _dbm_to_mw(rsrp_mat)
+    group_index, n_groups = prepared.channel_groups
+    n_rows = rsrp_mat.shape[0]
+    rows = np.arange(n_rows)[:, None]
+    totals = np.zeros((n_rows, n_groups))
+    np.add.at(totals, (rows, group_index[None, :]), power_mw)
+    noise_mw = float(_dbm_to_mw(NOISE_PER_PRB_DBM))
+    own_totals = totals[rows, group_index[None, :]]
+    interference = np.maximum(own_totals - power_mw, 0.0)
+    sinr = rsrp_mat - 10.0 * np.log10(interference + noise_mw)
+    rsrq = rsrp_mat - 10.0 * np.log10(12.0 * (own_totals + noise_mw))
+    rsrq = np.clip(rsrq, -19.5, -3.0)
+    return rsrq, sinr, power_mw, own_totals

@@ -15,7 +15,14 @@ from collections import OrderedDict
 from repro.cellnet.cell import Cell, CellId, CellRegistry
 from repro.cellnet.deployment import DeploymentPlan
 from repro.cellnet.geo import Point
-from repro.cellnet.radio import Measurement, RadioModel, RadioSnapshot
+import numpy as np
+
+from repro.cellnet.radio import (
+    Measurement,
+    PreparedCells,
+    RadioModel,
+    RadioSnapshot,
+)
 from repro.cellnet.rat import RAT
 
 
@@ -72,6 +79,10 @@ class RadioEnvironment:
         #: periodically re-preparing every neighborhood.
         self.snapshot_cache_size = 4096
         self._snapshot_cache: OrderedDict = OrderedDict()
+        #: Prepared-cache hit/miss counters; surfaced in ``REPRO_PROFILE=1``
+        #: stage timings and by fleet aggregates.
+        self.snapshot_cache_hits = 0
+        self.snapshot_cache_misses = 0
 
     @property
     def registry(self) -> CellRegistry:
@@ -158,23 +169,96 @@ class RadioEnvironment:
         audible cell is computed in one numpy pass, and the snapshot
         serves RSRQ/SINR lazily from the same co-channel power sums.
         """
-        # Cache the audible-cell list on a 200 m location grid: a moving
-        # UE re-queries nearly identical neighborhoods tick after tick.
-        # The extra 200 m guard band keeps the cached list a superset of
-        # the exact query anywhere inside the grid square.
+        prepared = self.prepared_for(location, carrier, radius_m)
+        rsrp = self.radio.rsrp_prepared(prepared, location)
+        return RadioSnapshot(self.radio, prepared, rsrp, location)
+
+    def prepared_for(
+        self, location: Point, carrier: str, radius_m: float = 3000.0
+    ) -> PreparedCells:
+        """The prepared audible-cell set covering ``location`` (LRU).
+
+        Cached on a 200 m location grid: a moving UE re-queries nearly
+        identical neighborhoods tick after tick.  The extra 200 m guard
+        band keeps the cached list a superset of the exact query
+        anywhere inside the grid square.
+        """
         key = (round(location.x / 200.0), round(location.y / 200.0), carrier, radius_m)
         cache = self._snapshot_cache
         prepared = cache.get(key)
         if prepared is None:
+            self.snapshot_cache_misses += 1
             cells = self.cells_near(location, carrier=carrier, radius_m=radius_m + 200.0)
             prepared = self.radio.prepare(cells)
             while len(cache) >= self.snapshot_cache_size:
                 cache.popitem(last=False)
             cache[key] = prepared
         else:
+            self.snapshot_cache_hits += 1
             cache.move_to_end(key)
-        rsrp = self.radio.rsrp_prepared(prepared, location)
-        return RadioSnapshot(self.radio, prepared, rsrp, location)
+        return prepared
+
+    def snapshot_batch(
+        self, spots: list[tuple[Point, str]], radius_m: float = 3000.0
+    ) -> list[RadioSnapshot]:
+        """Snapshots of many (location, carrier) spots, batched physics.
+
+        Spots sharing a prepared neighborhood run the RSRP chain as one
+        broadcast pass (:meth:`RadioModel.rsrp_prepared_batch`).  Entry
+        ``j`` is bit-identical to ``snapshot(spots[j][0], spots[j][1])``
+        — RSRQ/SINR stay lazy, exactly as the single-spot path leaves
+        them (their per-snapshot accumulation is sequential by
+        construction, so batching them saves nothing).
+        """
+        groups: dict[int, tuple[PreparedCells, list[int]]] = {}
+        for j, (location, carrier) in enumerate(spots):
+            prepared = self.prepared_for(location, carrier, radius_m)
+            entry = groups.get(id(prepared))
+            if entry is None:
+                groups[id(prepared)] = (prepared, [j])
+            else:
+                entry[1].append(j)
+        out: list[RadioSnapshot | None] = [None] * len(spots)
+        for prepared, idxs in groups.values():
+            if len(idxs) == 1 or not prepared.cells:
+                # Lone spots keep the scratch-buffered single-location
+                # chain (the broadcast pass only pays off shared).
+                for j in idxs:
+                    rsrp = self.radio.rsrp_prepared(prepared, spots[j][0])
+                    out[j] = RadioSnapshot(self.radio, prepared, rsrp, spots[j][0])
+                continue
+            count = len(idxs)
+            xs = np.fromiter((spots[j][0].x for j in idxs), float, count=count)
+            ys = np.fromiter((spots[j][0].y for j in idxs), float, count=count)
+            rsrp = self.radio.rsrp_prepared_batch(prepared, xs, ys)
+            for k, j in enumerate(idxs):
+                out[j] = RadioSnapshot(self.radio, prepared, rsrp[k], spots[j][0])
+        return out
+
+    def reserve_snapshot_capacity(self, occupied_keys: int) -> None:
+        """Grow the prepared-cache capacity to fit a fleet's working set.
+
+        A fleet occupying ``occupied_keys`` distinct (grid cell, carrier)
+        keys per tick would thrash an LRU smaller than that count; the
+        capacity is raised (never shrunk) to twice the occupancy plus
+        slack, so every occupied neighborhood stays resident between
+        ticks.
+        """
+        needed = 2 * occupied_keys + 64
+        if needed > self.snapshot_cache_size:
+            self.snapshot_cache_size = needed
+
+    def snapshot_cache_stats(self) -> dict:
+        """Hit/miss counters and sizing of the prepared-neighborhood LRU."""
+        hits, misses = self.snapshot_cache_hits, self.snapshot_cache_misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+            "entries": len(self._snapshot_cache),
+            "capacity": self.snapshot_cache_size,
+        }
 
     def get_cell(self, cell_id: CellId) -> Cell:
         """Resolve a cell identity to its :class:`Cell`."""

@@ -43,6 +43,14 @@ configuration change that made it appear::
     python -m repro snapshot --out capture-001.json --label after
     python -m repro lint --diff capture-000.json capture-001.json --fail-on any
 
+``fleet`` simulates a whole population of UEs (parked phones, walkers,
+transit riders, drivers) over one city with batched physics, sharded
+over ``--workers`` processes; the JSON report is byte-identical for
+any worker count::
+
+    python -m repro fleet --ues 500 --duration 600 --out fleet.json
+    python -m repro fleet --ues 100 --workers 4 --traffic ping
+
 ``evolve`` generates synthetic multi-capture timelines (retuning
 campaigns, patch rollouts, a deliberate loop regression) for drift-rule
 fixtures and CI::
@@ -224,6 +232,36 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="days between captures (default 30)")
     evolve_parser.add_argument("--config-seed", type=int, default=2018,
                                help="configuration-profile seed (default 2018)")
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="simulate a multi-UE fleet with batched physics"
+    )
+    fleet_parser.add_argument("--ues", type=int, default=100, metavar="N",
+                              help="fleet population (default 100)")
+    fleet_parser.add_argument("--duration", type=float, default=600.0, metavar="S",
+                              help="per-UE simulated seconds (default 600)")
+    fleet_parser.add_argument("--scenario", default="indianapolis",
+                              help="drive scenario city (default indianapolis)")
+    fleet_parser.add_argument("--carriers", nargs="*", default=None, metavar="C",
+                              help="subscriptions, assigned round-robin "
+                                   "(default: A)")
+    fleet_parser.add_argument("--traffic", default="speedtest",
+                              choices=("speedtest", "iperf", "ping", "idle"),
+                              help="data service every UE runs (default "
+                                   "speedtest)")
+    fleet_parser.add_argument("--tick-ms", type=int, default=200,
+                              help="simulation step in ms (default 200)")
+    fleet_parser.add_argument("--fleet-seed", type=int, default=2024,
+                              help="root of the per-UE seed tree (default 2024)")
+    fleet_parser.add_argument("--seed", type=int, default=7,
+                              help="deployment seed (default 7)")
+    fleet_parser.add_argument("--config-seed", type=int, default=2018,
+                              help="configuration-profile seed (default 2018)")
+    fleet_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                              help="worker processes for fleet shards "
+                                   "(default: REPRO_WORKERS or 1)")
+    fleet_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="write the JSON report here (default: "
+                                   "stdout)")
     return parser
 
 
@@ -479,6 +517,63 @@ def _run_build_d2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet_sim(args: argparse.Namespace) -> int:
+    """Simulate a multi-UE fleet and emit a deterministic JSON report.
+
+    The report (options echo, fleet aggregates, one summary row per UE)
+    is byte-identical for any ``--workers`` value — wall-clock timing
+    and cache statistics go to stderr so the file can be ``cmp``-ed
+    across worker counts.
+    """
+    import json
+
+    from repro.simulate.fleet import FleetOptions, run_fleet
+    from repro.simulate.scenarios import ScenarioSpec
+
+    options = FleetOptions(
+        scenario=ScenarioSpec(
+            name=args.scenario, seed=args.seed, config_seed=args.config_seed
+        ),
+        fleet_seed=args.fleet_seed,
+        n_ues=args.ues,
+        duration_s=args.duration,
+        tick_ms=args.tick_ms,
+        carriers=tuple(args.carriers) if args.carriers else ("A",),
+        traffic=args.traffic,
+    )
+    result = run_fleet(options, workers=args.workers)
+    report = {
+        "options": {
+            "scenario": args.scenario,
+            "seed": args.seed,
+            "config_seed": args.config_seed,
+            "fleet_seed": options.fleet_seed,
+            "n_ues": options.n_ues,
+            "duration_s": options.duration_s,
+            "tick_ms": options.tick_ms,
+            "carriers": list(options.carriers),
+            "traffic": options.traffic,
+        },
+        "aggregates": result.aggregates.to_dict(),
+        "ues": [ue.summary_row() for ue in result.ues],
+    }
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out is None:
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+    cache = result.snapshot_cache
+    print(
+        f"# fleet: {options.n_ues} UEs x {options.duration_s:.0f}s in "
+        f"{result.elapsed_s:.1f}s ({result.ue_ticks_per_s:,.0f} UE-ticks/s), "
+        f"snapshot cache hit rate {cache.get('hit_rate', 0.0):.3f}"
+        + (f" -> {args.out}" if args.out else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -495,6 +590,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_build_d1(args)
     if args.command == "build-d2":
         return _run_build_d2(args)
+    if args.command == "fleet":
+        return _run_fleet_sim(args)
     wanted = list(args.experiments)
     if wanted == ["all"]:
         wanted = registry.all_experiment_ids()

@@ -254,6 +254,28 @@ def entry_mask(
     raise NotImplementedError(f"event {e.value} has no neighbor entry mask")
 
 
+def entry_mask_batch(
+    config: EventConfig, serving: np.ndarray, neighbors: np.ndarray
+) -> np.ndarray:
+    """:func:`entry_mask` for many UEs at once.
+
+    ``serving`` holds each UE's serving-cell metric (length G) and
+    ``neighbors`` the (UE x cell) candidate-value matrix; row ``g`` of
+    the result is bit-identical to
+    ``entry_mask(config, serving[g], neighbors[g])`` — the comparisons
+    are the same ufuncs, broadcast over the UE axis.
+    """
+    e, hys = config.event, config.hysteresis
+    if e in (EventType.A3, EventType.A6):
+        return neighbors - hys > serving[:, None] + config.offset
+    if e in (EventType.A4, EventType.B1):
+        return neighbors - hys > config.threshold1
+    if e in (EventType.A5, EventType.B2):
+        serving_ok = serving + hys < config.threshold1
+        return serving_ok[:, None] & (neighbors - hys > config.threshold2)
+    raise NotImplementedError(f"event {e.value} has no neighbor entry mask")
+
+
 def leave_mask(
     config: EventConfig, serving: float | None, neighbors: np.ndarray
 ) -> np.ndarray:

@@ -49,6 +49,10 @@ class ConfigServer:
         self.seed = seed
         self._contexts: dict = {}
         self._base_configs: dict = {}
+        # Time-zero broadcasts are deterministic per cell; messages are
+        # frozen, so the same objects can be handed to every camping UE.
+        self._sib_cache: dict = {}
+        self._reconfig_cache: dict = {}
 
     def context_for(self, cell: Cell) -> ConfigContext:
         """Deployment context of one cell (cached)."""
@@ -99,6 +103,21 @@ class ConfigServer:
         that kind exist nearby, as real cells omit empty SIBs).  For
         legacy RATs it is one :class:`LegacySystemInfo`.
         """
+        if obs_rng is None:
+            cached = self._sib_cache.get(cell.cell_id)
+            if cached is not None:
+                return list(cached)
+            sibs = self._sib_messages(cell, None, days_since_first)
+            self._sib_cache[cell.cell_id] = tuple(sibs)
+            return sibs
+        return self._sib_messages(cell, obs_rng, days_since_first)
+
+    def _sib_messages(
+        self,
+        cell: Cell,
+        obs_rng: np.random.Generator | None,
+        days_since_first: float,
+    ) -> list[Message]:
         if cell.rat is not RAT.LTE:
             profile = profile_for_carrier(cell.carrier, seed=self.seed)
             config = profile.legacy_config(cell)
@@ -138,6 +157,13 @@ class ConfigServer:
         self, cell: Cell, obs_rng: np.random.Generator | None = None
     ) -> RrcConnectionReconfiguration:
         """The measConfig message a UE connecting to ``cell`` receives."""
+        if obs_rng is None:
+            cached = self._reconfig_cache.get(cell.cell_id)
+            if cached is not None:
+                return cached
         profile = profile_for_carrier(cell.carrier, seed=self.seed)
         meas: MeasurementConfig = profile.measurement_config(cell, obs_rng=obs_rng)
-        return RrcConnectionReconfiguration(meas_config=meas)
+        message = RrcConnectionReconfiguration(meas_config=meas)
+        if obs_rng is None:
+            self._reconfig_cache[cell.cell_id] = message
+        return message

@@ -65,8 +65,72 @@ def _read_varint(buf: bytes, pos: int) -> tuple[int, int]:
             raise CodecError("varint too long")
 
 
+_PACK_DOUBLE = struct.Struct("<d").pack
+
+
 def _encode_value(out: bytearray, value) -> None:
-    if value is None:
+    # Exact-type dispatch: payloads are plain python scalars and
+    # containers (flat dicts of str/int/float for the hot per-tick
+    # messages), so ``type(value) is X`` resolves nearly every value in
+    # one check with lengths/small ints appended inline.  Subclasses —
+    # IntEnum fields, str subclasses — fall through to the reference
+    # isinstance ladder at the bottom, which produces the identical
+    # wire form.
+    t = type(value)
+    if t is str:
+        encoded = value.encode("utf-8")
+        out.append(_TAG_STR)
+        n = len(encoded)
+        if n < 0x80:
+            out.append(n)
+        else:
+            _write_varint(out, n)
+        out.extend(encoded)
+    elif t is int:
+        if value >= 0:
+            out.append(_TAG_INT)
+        else:
+            out.append(_TAG_NEG_INT)
+            value = -value
+        if value < 0x80:
+            out.append(value)
+        else:
+            _write_varint(out, value)
+    elif t is float:
+        out.append(_TAG_FLOAT)
+        out.extend(_PACK_DOUBLE(value))
+    elif t is dict:
+        out.append(_TAG_DICT)
+        n = len(value)
+        if n < 0x80:
+            out.append(n)
+        else:
+            _write_varint(out, n)
+        for key in value:  # Insertion order: payloads are built deterministically.
+            if type(key) is str:
+                encoded = key.encode("utf-8")
+                out.append(_TAG_STR)
+                n = len(encoded)
+                if n < 0x80:
+                    out.append(n)
+                else:
+                    _write_varint(out, n)
+                out.extend(encoded)
+            elif isinstance(key, str):
+                _encode_value(out, key)
+            else:
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            _encode_value(out, value[key])
+    elif t is list or t is tuple:
+        out.append(_TAG_LIST)
+        n = len(value)
+        if n < 0x80:
+            out.append(n)
+        else:
+            _write_varint(out, n)
+        for item in value:
+            _encode_value(out, item)
+    elif value is None:
         out.append(_TAG_NONE)
     elif value is True:
         out.append(_TAG_TRUE)
@@ -95,7 +159,7 @@ def _encode_value(out: bytearray, value) -> None:
     elif isinstance(value, dict):
         out.append(_TAG_DICT)
         _write_varint(out, len(value))
-        for key in value:  # Insertion order: payloads are built deterministically.
+        for key in value:
             if not isinstance(key, str):
                 raise CodecError(f"dict keys must be str, got {type(key).__name__}")
             _encode_value(out, key)
@@ -149,12 +213,112 @@ def _decode_value(buf: bytes, pos: int):
     raise CodecError(f"unknown tag {tag}")
 
 
-def encode_message(message: msg.Message) -> bytes:
-    """Serialize a message to its binary wire form."""
+#: Broadcast-class messages are frozen dataclasses rebuilt with
+#: identical field values on every camp, so their wire form is memoized
+#: by equality: re-camping on a cell (every handover re-reads the full
+#: SIB set) costs one dict hit instead of a payload build plus a TLV
+#: encode.  Per-emission messages (PhyServingMeas, MeasurementReport)
+#: are excluded — every instance is unique, so caching them would only
+#: grow the dict without ever hitting.
+_CACHEABLE_TYPES = frozenset(
+    {
+        msg.Sib1,
+        msg.Sib3,
+        msg.Sib4,
+        msg.Sib5,
+        msg.Sib6,
+        msg.Sib7,
+        msg.Sib8,
+        msg.MobilityControlInfo,
+        msg.RrcConnectionReconfiguration,
+    }
+)
+_encode_cache: dict[msg.Message, bytes] = {}
+_ENCODE_CACHE_MAX = 4096
+
+
+def _encode_uncached(message: msg.Message) -> bytes:
     out = bytearray()
     _write_varint(out, message.TYPE_CODE)
     _encode_value(out, message.to_payload())
     return bytes(out)
+
+
+#: The one high-rate per-emission message is PhyServingMeas (one per UE
+#: every 500 ms).  Its payload shape is fixed and only the two metric
+#: floats change between emissions from the same serving cell, so the
+#: wire form around them is templated per (cell identity, state) and the
+#: floats are spliced in — byte-identical to the generic encoder, which
+#: remains the reference (and the template builder).
+_TAG_FLOAT_BYTE = bytes([_TAG_FLOAT])
+_phy_templates: dict[tuple, tuple[bytes, bytes, bytes]] = {}
+
+
+def _encode_phy_serving(message) -> bytes:
+    key = (
+        message.carrier,
+        message.gci,
+        message.channel,
+        message.rat,
+        message.sinr_db,
+        message.rrc_connected,
+    )
+    parts = _phy_templates.get(key)
+    if parts is None:
+        head = bytearray()
+        _write_varint(head, message.TYPE_CODE)
+        head.append(_TAG_DICT)
+        head.append(8)  # to_payload() field count
+        for field, value in (
+            ("carrier", message.carrier),
+            ("gci", message.gci),
+            ("channel", message.channel),
+            ("rat", message.rat),
+        ):
+            _encode_value(head, field)
+            _encode_value(head, value)
+        _encode_value(head, "rsrp_dbm")
+        mid = bytearray()
+        _encode_value(mid, "rsrq_db")
+        tail = bytearray()
+        _encode_value(tail, "sinr_db")
+        _encode_value(tail, message.sinr_db)
+        _encode_value(tail, "rrc_connected")
+        _encode_value(tail, message.rrc_connected)
+        if len(_phy_templates) >= _ENCODE_CACHE_MAX:
+            _phy_templates.clear()
+        parts = (bytes(head), bytes(mid), bytes(tail))
+        _phy_templates[key] = parts
+    head, mid, tail = parts
+    return b"".join(
+        (
+            head,
+            _TAG_FLOAT_BYTE,
+            _PACK_DOUBLE(message.rsrp_dbm),
+            mid,
+            _TAG_FLOAT_BYTE,
+            _PACK_DOUBLE(message.rsrq_db),
+            tail,
+        )
+    )
+
+
+def encode_message(message: msg.Message) -> bytes:
+    """Serialize a message to its binary wire form."""
+    if type(message) is msg.PhyServingMeas:
+        return _encode_phy_serving(message)
+    if type(message) in _CACHEABLE_TYPES:
+        try:
+            cached = _encode_cache.get(message)
+        except TypeError:  # unhashable field value: encode directly
+            return _encode_uncached(message)
+        if cached is None:
+            cached = _encode_uncached(message)
+            if len(_encode_cache) >= _ENCODE_CACHE_MAX:
+                _encode_cache.clear()
+            _encode_cache[message] = cached
+        return cached
+    return _encode_uncached(message)
 
 
 def decode_message(buf: bytes) -> msg.Message:

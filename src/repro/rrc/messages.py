@@ -65,7 +65,17 @@ class Sib1(Message):
         return CellId(self.carrier, self.gci)
 
     def to_payload(self) -> dict:
-        return asdict(self)
+        # Flat scalar fields: a literal dict in field order produces the
+        # same payload as dataclasses.asdict without its deepcopy pass.
+        return {
+            "carrier": self.carrier,
+            "gci": self.gci,
+            "pci": self.pci,
+            "channel": self.channel,
+            "rat": self.rat,
+            "q_rx_lev_min": self.q_rx_lev_min,
+            "city": self.city,
+        }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Sib1":
@@ -211,7 +221,13 @@ class MobilityControlInfo(Message):
         return CellId(self.target_carrier, self.target_gci)
 
     def to_payload(self) -> dict:
-        return asdict(self)
+        return {
+            "target_carrier": self.target_carrier,
+            "target_gci": self.target_gci,
+            "target_channel": self.target_channel,
+            "target_pci": self.target_pci,
+            "target_rat": self.target_rat,
+        }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "MobilityControlInfo":
@@ -280,7 +296,15 @@ class MeasResult(Message):
         return CellId(self.carrier, self.gci)
 
     def to_payload(self) -> dict:
-        return asdict(self)
+        return {
+            "carrier": self.carrier,
+            "gci": self.gci,
+            "pci": self.pci,
+            "channel": self.channel,
+            "rat": self.rat,
+            "rsrp_dbm": self.rsrp_dbm,
+            "rsrq_db": self.rsrq_db,
+        }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "MeasResult":
@@ -399,7 +423,16 @@ class PhyServingMeas(Message):
         return CellId(self.carrier, self.gci)
 
     def to_payload(self) -> dict:
-        return asdict(self)
+        return {
+            "carrier": self.carrier,
+            "gci": self.gci,
+            "channel": self.channel,
+            "rat": self.rat,
+            "rsrp_dbm": self.rsrp_dbm,
+            "rsrq_db": self.rsrq_db,
+            "sinr_db": self.sinr_db,
+            "rrc_connected": self.rrc_connected,
+        }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "PhyServingMeas":

@@ -8,7 +8,22 @@ user-perceived performance.
 """
 
 from repro.simulate.clock import SimulationClock
-from repro.simulate.mobility import Trajectory, grid_drive, highway_drive, static_position
+from repro.simulate.fleet import (
+    FleetAggregates,
+    FleetOptions,
+    FleetResult,
+    FleetSimulator,
+    UEResult,
+    UESpec,
+    run_fleet,
+)
+from repro.simulate.mobility import (
+    Trajectory,
+    grid_drive,
+    highway_drive,
+    parked_position,
+    static_position,
+)
 from repro.simulate.traffic import TrafficModel, Speedtest, ConstantRate, Ping
 from repro.simulate.throughput import ThroughputModel
 from repro.simulate.runner import DriveSimulator, DriveResult, TickSample
@@ -19,6 +34,7 @@ __all__ = [
     "Trajectory",
     "grid_drive",
     "highway_drive",
+    "parked_position",
     "static_position",
     "TrafficModel",
     "Speedtest",
@@ -30,4 +46,11 @@ __all__ = [
     "TickSample",
     "drive_scenario",
     "DriveScenario",
+    "FleetAggregates",
+    "FleetOptions",
+    "FleetResult",
+    "FleetSimulator",
+    "UEResult",
+    "UESpec",
+    "run_fleet",
 ]

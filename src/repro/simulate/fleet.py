@@ -1,0 +1,1203 @@
+"""Fleet-scale multi-UE simulation: batched numpy state, shared physics.
+
+One :class:`DriveSimulator` reproduces one Type-II drive; a *fleet*
+simulates hundreds to thousands of devices living in the same deployed
+world at once — the population view behind handoff-rate, ping-pong and
+handoff-storm statistics.  Ticking that many UEs one by one would repeat
+the same physics and measurement work per device; the fleet instead
+runs all UEs in lockstep and batches the per-tick hot path:
+
+* **Shared radio snapshots** — UEs standing at the same spot (parked
+  clusters, transit riders on one line) share a single physics pass per
+  tick; everyone else's neighborhoods come from the environment's
+  prepared-cell LRU, whose capacity is grown to the fleet's working set
+  (:meth:`~repro.cellnet.world.RadioEnvironment.reserve_snapshot_capacity`).
+* **Batched measurement rounds** — the L3 filter state of every
+  batched UE, whatever neighborhood it lives in, is promoted to
+  persistent (UE x cell) matrices updated in place each tick
+  (:class:`~repro.ue.measurement.BatchMeasurementState`); rounds are
+  materialized only for lanes whose tick consumes one.
+* **Batched event evaluation** — lanes are grouped by armed-event
+  signature and each event's entry condition is evaluated as one
+  masked (UE x cell) pass; ticks proven no-ops take
+  :meth:`~repro.ue.device.UserEquipment.quiet_tick`, skipping the
+  per-lane event machinery entirely.
+* **Sharding** — fleets split into :class:`FleetShardUnit` work units
+  over the :mod:`repro.pipeline` backends; per-UE seeds come from
+  ``numpy.random.SeedSequence.spawn``, so every UE's result is
+  bit-identical regardless of fleet size, shard boundaries or worker
+  count.
+
+Batching never changes a single bit of any UE's outputs: every batched
+operation is the elementwise twin of the scalar/vectorized per-UE path
+(same ufuncs, same order, same RNG streams), and parity tests assert
+UE *k* of a fleet equals a solo :class:`DriveSimulator` run bit for
+bit.  Any lane in an unusual state (idle, scalar oracle, a handover
+due this tick) simply falls back to the untouched per-UE path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.cellnet.radio import compute_metrics_batch
+from repro.cellnet.rat import RAT
+from repro.config.events import EventType
+from repro.pipeline.backends import ExecutionBackend, resolve_backend
+from repro.pipeline.unit import WorkUnit
+from repro.rrc import codec as _codec
+from repro.rrc import diag as _diag
+from repro.rrc.diag import DiagWriter
+from repro.rrc.messages import PhyServingMeas
+from repro.simulate.mobility import Trajectory, grid_drive, parked_position
+from repro.simulate.runner import DriveResult, TickSample
+from repro.simulate.scenarios import DriveScenario, ScenarioSpec
+from repro.simulate.throughput import ThroughputModel
+from repro.simulate.traffic import (
+    ConstantRate,
+    NoTraffic,
+    Ping,
+    Speedtest,
+    TrafficModel,
+)
+from repro.ue.device import HandoffEvent, RrcState, UserEquipment
+from repro.ue.measurement import BatchMeasurementState, MeasurementRound
+
+#: Default population mix: mostly parked devices, a transit-riding
+#: share, some pedestrians and drivers — a plausible daytime urban mix.
+DEFAULT_MIX: tuple[tuple[str, float], ...] = (
+    ("parked", 0.55),
+    ("transit", 0.25),
+    ("pedestrian", 0.10),
+    ("vehicle", 0.10),
+)
+
+_PROFILE_SPEEDS_KMH = {"pedestrian": 5.0, "vehicle": 40.0, "transit": 30.0}
+
+#: Lattice block per profile: walkers turn at street corners, drivers
+#: at arterial blocks.  Keeping blocks proportionate to speed also
+#: keeps every profile's trajectory duration close to ``duration_s``
+#: (a 450 m minimum leg at walking pace would last 5 minutes).
+_PROFILE_BLOCK_M = {"pedestrian": 100.0, "vehicle": 450.0, "transit": 450.0}
+
+#: Ping-pong window: an A->B->A pair within this span counts (Fig. 12).
+PING_PONG_WINDOW_MS = 10_000
+
+
+def _profile_enabled() -> bool:
+    return os.environ.get("REPRO_PROFILE", "0") not in ("", "0")
+
+
+_TAGF = _codec._TAG_FLOAT_BYTE
+_PACK_DOUBLE = _codec._PACK_DOUBLE
+_HEADER_PACK = _diag._HEADER.pack
+
+
+def _phy_template(cell) -> tuple:
+    """Codec template parts for quiet-path PHY records serving ``cell``.
+
+    Returns ``(head, mid, tail, base_sum, payload_len)``: the codec's
+    own template bytes around the two packed doubles, the checksum
+    contribution of everything except those doubles, and the total
+    payload length.  Encoding one reference message through the codec
+    keeps the parts definitionally identical to the slow path (the
+    quiet path's ``sinr_db`` and ``rrc_connected`` are constants).
+    """
+    message = PhyServingMeas(
+        carrier=cell.carrier,
+        gci=cell.cell_id.gci,
+        channel=cell.channel,
+        rat=cell.rat.value,
+        rsrp_dbm=0.0,
+        rsrq_db=0.0,
+        sinr_db=0.0,
+        rrc_connected=True,
+    )
+    _codec.encode_message(message)
+    head, mid, tail = _codec._phy_templates[
+        (message.carrier, message.gci, message.channel, message.rat, 0.0, True)
+    ]
+    base_sum = sum(head) + sum(mid) + sum(tail) + 2 * _codec._TAG_FLOAT
+    return (head, mid, tail, base_sum, len(head) + len(mid) + len(tail) + 18)
+
+
+def _monitor_batch_info(meas_config) -> tuple:
+    """Grouping key and parameter matrix for the batched event pass.
+
+    Returns ``(signature, params, s_measure, periodic)`` where
+    ``signature`` is the armed ``(event, metric)`` tuple — the batch
+    groups lanes by it — and ``params`` is an ``(events, 4)`` float
+    matrix of ``[hysteresis, threshold1, threshold2, offset]`` rows
+    (absent thresholds as 0.0; their events never read them).
+    """
+    events = meas_config.events
+    signature = tuple((c.event, c.metric) for c in events)
+    params = np.array(
+        [
+            [
+                c.hysteresis,
+                0.0 if c.threshold1 is None else c.threshold1,
+                0.0 if c.threshold2 is None else c.threshold2,
+                c.offset,
+            ]
+            for c in events
+        ],
+        dtype=np.float64,
+    ).reshape(len(events), 4)
+    return signature, params, meas_config.s_measure, meas_config.periodic
+
+
+def make_traffic(name: str) -> TrafficModel:
+    """A fresh traffic-model instance by service name."""
+    if name == "speedtest":
+        return Speedtest()
+    if name == "iperf":
+        return ConstantRate()
+    if name == "ping":
+        return Ping()
+    if name == "idle":
+        return NoTraffic()
+    raise ValueError(f"unknown traffic model {name!r}")
+
+
+@dataclass(frozen=True)
+class FleetOptions:
+    """Recipe of one fleet simulation (picklable, shard-safe).
+
+    Attributes:
+        scenario: World recipe; shards rebuild (and process-cache) it.
+        fleet_seed: Root of the per-UE ``SeedSequence.spawn`` tree and
+            of every trajectory's RNG.
+        n_ues: Fleet population.
+        duration_s: Per-UE simulated duration.
+        tick_ms: Simulation step.
+        carriers: Subscriptions, assigned round-robin by UE index.
+        mix: (profile, weight) population mix; expanded into a 20-slot
+            repeating pattern so a UE's profile depends only on its
+            index, never on the fleet size.
+        transit_lines: Number of shared transit trajectories; riders of
+            one line are co-located every tick and share physics.
+        traffic: Data service name ("speedtest", "iperf", "ping",
+            "idle").
+        keep_samples: Retain per-tick samples and raw diag bytes per UE
+            (memory-heavy; aggregates never need it).
+        workers: Default worker processes for :func:`run_fleet`.
+        shard_size: UEs per work unit (fixed, so the unit list is
+            independent of the worker count).
+        config_lint: Preflight-audit carrier configurations.
+    """
+
+    scenario: ScenarioSpec = ScenarioSpec()
+    fleet_seed: int = 2024
+    n_ues: int = 100
+    duration_s: float = 600.0
+    tick_ms: int = 200
+    carriers: tuple[str, ...] = ("A",)
+    mix: tuple[tuple[str, float], ...] = DEFAULT_MIX
+    transit_lines: int = 8
+    traffic: str = "speedtest"
+    keep_samples: bool = False
+    workers: int | None = None
+    shard_size: int = 64
+    config_lint: bool = False
+
+
+@dataclass(frozen=True)
+class UESpec:
+    """One fleet member: identity, seed, behaviour profile."""
+
+    index: int
+    seed: int
+    profile: str
+    carrier: str
+
+
+def mix_pattern(mix: tuple[tuple[str, float], ...]) -> tuple[str, ...]:
+    """Expand a (profile, weight) mix into a 20-slot repeating pattern.
+
+    Largest-remainder apportionment over 20 slots, then profiles
+    interleaved round-robin; ``pattern[index % 20]`` assigns a UE its
+    profile as a pure function of its index.
+    """
+    slots = 20
+    total = sum(w for _, w in mix)
+    if total <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+    counts: dict[str, int] = {}
+    remainders: list[tuple[float, str]] = []
+    assigned = 0
+    for name, weight in mix:
+        exact = weight / total * slots
+        base = int(exact)
+        counts[name] = counts.get(name, 0) + base
+        assigned += base
+        remainders.append((exact - base, name))
+    for _, name in sorted(remainders, key=lambda r: (-r[0], r[1]))[: slots - assigned]:
+        counts[name] += 1
+    pattern: list[str] = []
+    remaining = dict(counts)
+    while len(pattern) < slots:
+        progressed = False
+        for name, _ in mix:
+            if remaining.get(name, 0) > 0:
+                pattern.append(name)
+                remaining[name] -= 1
+                progressed = True
+        if not progressed:  # pragma: no cover - all weights rounded to 0
+            raise ValueError("mix produced an empty pattern")
+    return tuple(pattern)
+
+
+def ue_specs(options: FleetOptions, start: int = 0, count: int | None = None) -> list[UESpec]:
+    """Specs of UEs ``start .. start+count`` of the fleet.
+
+    Per-UE seeds are the spawned children of
+    ``SeedSequence(fleet_seed)``; child *k* is a pure function of
+    (fleet_seed, k), so UE *k* is the same device in a 10-UE fleet, a
+    2000-UE fleet, or any shard split.
+    """
+    if count is None:
+        count = options.n_ues - start
+    children = np.random.SeedSequence(options.fleet_seed).spawn(start + count)
+    pattern = mix_pattern(options.mix)
+    specs = []
+    for k in range(start, start + count):
+        seed = int(children[k].generate_state(1, np.uint64)[0])
+        specs.append(
+            UESpec(
+                index=k,
+                seed=seed,
+                profile=pattern[k % len(pattern)],
+                carrier=options.carriers[k % len(options.carriers)],
+            )
+        )
+    return specs
+
+
+def transit_trajectory(
+    scenario: DriveScenario, options: FleetOptions, line: int
+) -> Trajectory:
+    """The shared trajectory of one transit line (pure in its inputs)."""
+    city = scenario.cities[line % len(scenario.cities)]
+    rng = np.random.default_rng((options.fleet_seed, 0x7128, line))
+    return grid_drive(
+        city,
+        rng,
+        duration_s=options.duration_s,
+        speed_kmh=_PROFILE_SPEEDS_KMH["transit"],
+    )
+
+
+def trajectory_for(
+    scenario: DriveScenario, options: FleetOptions, spec: UESpec
+) -> Trajectory:
+    """The trajectory UE ``spec`` drives; depends only on (options, index)."""
+    cities = scenario.cities
+    city = cities[spec.index % len(cities)]
+    if spec.profile == "parked":
+        rng = np.random.default_rng((options.fleet_seed, 0xF1EE, spec.index))
+        extent = city.rings * city.site_spacing_m * 0.62
+        location = city.origin.offset(
+            float(rng.uniform(-extent, extent)), float(rng.uniform(-extent, extent))
+        )
+        return parked_position(location, duration_s=options.duration_s)
+    if spec.profile == "transit":
+        return transit_trajectory(scenario, options, spec.index % options.transit_lines)
+    speed = _PROFILE_SPEEDS_KMH[spec.profile]
+    rng = np.random.default_rng((options.fleet_seed, 0xD81, spec.index))
+    return grid_drive(
+        city,
+        rng,
+        duration_s=options.duration_s,
+        speed_kmh=speed,
+        block_m=_PROFILE_BLOCK_M[spec.profile],
+    )
+
+
+@dataclass
+class UEResult:
+    """Per-UE outcome of a fleet run (DriveResult-compatible).
+
+    Always carries handoffs, ping RTTs, aggregate counters and a SHA-256
+    digest of the diag log (the cheap cross-worker parity witness);
+    per-tick samples and raw diag bytes are retained only under
+    ``keep_samples``.
+    """
+
+    index: int
+    profile: str
+    carrier: str
+    seed: int
+    tick_ms: int
+    n_ticks: int
+    handoffs: list[HandoffEvent]
+    ping_rtts_ms: list[tuple[int, float | None]]
+    diag_sha256: str
+    diag_len: int
+    delivered_bits: float
+    interrupted_ticks: int
+    occupancy: dict[str, int]
+    intra_freq_rounds: int
+    non_intra_freq_rounds: int
+    samples: list[TickSample] | None = None
+    diag_log: bytes | None = None
+
+    def to_drive_result(self) -> DriveResult:
+        """This UE's run as a :class:`DriveResult` (needs keep_samples)."""
+        result = DriveResult(carrier=self.carrier, tick_ms=self.tick_ms)
+        result.samples = list(self.samples or [])
+        result.handoffs = list(self.handoffs)
+        result.diag_log = self.diag_log if self.diag_log is not None else b""
+        result.ping_rtts_ms = list(self.ping_rtts_ms)
+        return result
+
+    def summary_row(self) -> dict:
+        """Deterministic per-UE summary (the CLI's JSON row)."""
+        return {
+            "index": self.index,
+            "profile": self.profile,
+            "carrier": self.carrier,
+            "n_ticks": self.n_ticks,
+            "handoffs": len(self.handoffs),
+            "ping_pongs": count_ping_pongs(self.handoffs),
+            "delivered_mbit": round(self.delivered_bits / 1e6, 6),
+            "interrupted_ticks": self.interrupted_ticks,
+            "diag_sha256": self.diag_sha256,
+            "diag_len": self.diag_len,
+        }
+
+
+def count_ping_pongs(handoffs: list[HandoffEvent]) -> int:
+    """A->B->A pairs within :data:`PING_PONG_WINDOW_MS` (per UE)."""
+    count = 0
+    for first, second in zip(handoffs, handoffs[1:]):
+        if (
+            second.source == first.target
+            and second.target == first.source
+            and second.time_ms - first.time_ms <= PING_PONG_WINDOW_MS
+        ):
+            count += 1
+    return count
+
+
+@dataclass
+class FleetAggregates:
+    """Fleet-level statistics over all UE results."""
+
+    n_ues: int
+    total_ticks: int
+    total_handoffs: int
+    handoffs_per_ue_hour: float
+    ping_pong_count: int
+    ping_pong_rate: float
+    mean_delivered_mbps: float
+    interrupted_tick_fraction: float
+    occupancy: dict[str, int]
+    storm_peak: int
+    storm_peak_cell: str | None
+    storm_peak_minute: int | None
+
+    def to_dict(self) -> dict:
+        return {
+            "n_ues": self.n_ues,
+            "total_ticks": self.total_ticks,
+            "total_handoffs": self.total_handoffs,
+            "handoffs_per_ue_hour": round(self.handoffs_per_ue_hour, 6),
+            "ping_pong_count": self.ping_pong_count,
+            "ping_pong_rate": round(self.ping_pong_rate, 6),
+            "mean_delivered_mbps": round(self.mean_delivered_mbps, 6),
+            "interrupted_tick_fraction": round(self.interrupted_tick_fraction, 6),
+            "occupancy": dict(sorted(self.occupancy.items())),
+            "storm_peak": self.storm_peak,
+            "storm_peak_cell": self.storm_peak_cell,
+            "storm_peak_minute": self.storm_peak_minute,
+        }
+
+
+def aggregate(results: list[UEResult], tick_ms: int) -> FleetAggregates:
+    """Fleet statistics from per-UE results (deterministic)."""
+    total_ticks = sum(r.n_ticks for r in results)
+    total_handoffs = sum(len(r.handoffs) for r in results)
+    hours = total_ticks * tick_ms / 3_600_000.0
+    ping_pongs = sum(count_ping_pongs(r.handoffs) for r in results)
+    occupancy: Counter = Counter()
+    storms: Counter = Counter()
+    delivered = 0.0
+    interrupted = 0
+    for r in results:
+        occupancy.update(r.occupancy)
+        delivered += r.delivered_bits
+        interrupted += r.interrupted_ticks
+        for handoff in r.handoffs:
+            storms[(str(handoff.target), handoff.time_ms // 60_000)] += 1
+    if storms:
+        peak_key = max(storms, key=lambda k: (storms[k], k))
+        storm_peak = storms[peak_key]
+        storm_cell, storm_minute = peak_key
+    else:
+        storm_peak, storm_cell, storm_minute = 0, None, None
+    seconds = total_ticks * tick_ms / 1000.0
+    return FleetAggregates(
+        n_ues=len(results),
+        total_ticks=total_ticks,
+        total_handoffs=total_handoffs,
+        handoffs_per_ue_hour=(total_handoffs / hours) if hours else 0.0,
+        ping_pong_count=ping_pongs,
+        ping_pong_rate=(ping_pongs / total_handoffs) if total_handoffs else 0.0,
+        mean_delivered_mbps=(delivered / seconds / 1e6) if seconds else 0.0,
+        interrupted_tick_fraction=(interrupted / total_ticks) if total_ticks else 0.0,
+        occupancy=dict(sorted((str(k), v) for k, v in occupancy.items())),
+        storm_peak=storm_peak,
+        storm_peak_cell=storm_cell,
+        storm_peak_minute=storm_minute,
+    )
+
+
+class _Lane:
+    """One fleet UE's live state: replicates ``DriveSimulator.run``.
+
+    The per-tick body is the runner's, line for line — the fleet only
+    front-loads work (snapshots, measurement rounds, event masks) that
+    :meth:`step` would otherwise compute itself, never different work.
+    """
+
+    __slots__ = (
+        "spec",
+        "trajectory",
+        "carrier",
+        "tick_ms",
+        "traffic",
+        "is_ping",
+        "is_speedtest",
+        "static",
+        "ue",
+        "writer",
+        "throughput",
+        "samples",
+        "ping_rtts",
+        "occupancy",
+        "delivered_bits",
+        "interrupted_ticks",
+        "n_ticks",
+        "location",
+        "row",
+        "batched",
+        "quiet",
+        "quiet_fm",
+        "_phy_cell",
+        "_phy_parts",
+        "_gt_snap",
+        "_gt_serving",
+        "_gt_rsrp",
+        "_gt_sinr",
+        "_cap_serving",
+        "_cap_sinr",
+        "_cap_epoch",
+        "_cap_value",
+        "_occ_cell",
+        "_occ_run",
+    )
+
+    def __init__(
+        self,
+        spec: UESpec,
+        trajectory: Trajectory,
+        scenario: DriveScenario,
+        tick_ms: int,
+        traffic: TrafficModel,
+        keep_samples: bool,
+    ):
+        self.spec = spec
+        self.trajectory = trajectory
+        self.carrier = spec.carrier
+        self.tick_ms = tick_ms
+        self.traffic = traffic
+        self.is_ping = isinstance(traffic, Ping)
+        self.is_speedtest = type(traffic) is Speedtest
+        #: Parked trajectories hold one position for the whole run, so
+        #: the simulate loop skips their per-tick position/spot work.
+        self.static = spec.profile == "parked"
+        # Exactly the runner's wiring with run_index=0: same UE seed,
+        # same throughput RNG stream.
+        self.ue = UserEquipment(
+            scenario.env, scenario.server, spec.carrier, seed=spec.seed * 1009 + 0
+        )
+        self.writer = DiagWriter.in_memory()
+        self.ue.add_listener(lambda t, message, direction: self.writer.write(t, message))
+        self.throughput = ThroughputModel(
+            rng=np.random.default_rng((spec.seed, 0, 0x7A))
+        )
+        self.samples: list[TickSample] | None = [] if keep_samples else None
+        self.ping_rtts: list[tuple[int, float | None]] = []
+        self.occupancy: Counter = Counter()
+        self.delivered_bits = 0.0
+        self.interrupted_ticks = 0
+        self.n_ticks = 0
+        self.batched = False
+        self.quiet = False
+        self.quiet_fm: tuple | None = None
+        # Serving-cell PHY emission template: quiet-tick serving
+        # measurements dominate the diag stream, and their payload is
+        # fixed bytes around the two packed doubles (sinr 0.0 and
+        # rrc_connected=True are constants on the quiet path).
+        self._phy_cell = None
+        self._phy_parts: tuple | None = None
+        # Ground-truth serving measurement and capacity memos: a parked
+        # UE's (snapshot, serving) pair and load-share epoch repeat for
+        # many consecutive ticks, and both lookups are pure given them.
+        self._gt_snap = None
+        self._gt_serving = None
+        self._gt_rsrp = -140.0
+        self._gt_sinr = -20.0
+        self._cap_serving = None
+        self._cap_sinr = 0.0
+        self._cap_epoch = -1
+        self._cap_value = 0.0
+        # Serving-cell occupancy as run lengths (flushed on change).
+        self._occ_cell = None
+        self._occ_run = 0
+        self.location = trajectory.position(0)
+        self.ue.initial_camp(self.location, 0)
+        if traffic.generates_user_traffic:
+            self.ue.connect(0)
+
+    def step(self, now_ms: int) -> None:
+        """One tick at the already-assigned location (runner loop body)."""
+        ue = self.ue
+        if self.quiet:
+            # The batched event pass proved this tick a no-op; only the
+            # round counters (and a due PHY emission) happen.
+            self.quiet = False
+            fm = self.quiet_fm
+            if fm is None:
+                ue.quiet_tick(now_ms)
+            elif len(ue._listeners) != 1:
+                ue.quiet_tick(now_ms, fm[0], fm[1])
+            else:
+                # Due PHY serving measurement, emitted directly: the
+                # lane's writer is the device's only listener, so the
+                # notify -> dataclass -> encode dispatch chain reduces
+                # to splicing two packed doubles into the serving
+                # cell's cached payload template.  Bytes (payload,
+                # header, checksum) are identical to quiet_tick's.
+                meas = ue.meas
+                meas.intra_freq_rounds += 1
+                meas.non_intra_freq_rounds += 1
+                ue._last_phy_meas_ms = now_ms
+                serving = ue.serving
+                if serving is not self._phy_cell:
+                    self._phy_cell = serving
+                    self._phy_parts = _phy_template(serving)
+                head, mid, tail, base_sum, length = self._phy_parts
+                p1 = _PACK_DOUBLE(fm[0])
+                p2 = _PACK_DOUBLE(fm[1])
+                writer = self.writer
+                stream = writer._stream
+                stream.write(
+                    _HEADER_PACK(
+                        _diag._MAGIC,
+                        length,
+                        now_ms,
+                        (base_sum + sum(p1) + sum(p2)) & 0xFFFF,
+                    )
+                )
+                stream.write(b"".join((head, _TAGF, p1, mid, _TAGF, p2, tail)))
+                writer.records_written += 1
+        else:
+            ue.tick(now_ms, self.location)
+        serving = ue.serving
+        # The spots pass (or initial camp, for parked lanes) left this
+        # tick's snapshot in the engine memo.
+        snap = ue.meas._snap
+        if snap is self._gt_snap and serving is self._gt_serving:
+            rsrp, sinr = self._gt_rsrp, self._gt_sinr
+        else:
+            if serving in snap:
+                measurement = snap.measure(serving)
+                rsrp, sinr = measurement.rsrp_dbm, measurement.sinr_db
+            else:
+                rsrp, sinr = -140.0, -20.0
+            self._gt_snap, self._gt_serving = snap, serving
+            self._gt_rsrp, self._gt_sinr = rsrp, sinr
+        if now_ms < ue.interrupted_until_ms:
+            interrupted = True
+            capacity = 0.0
+            self.interrupted_ticks += 1
+        else:
+            interrupted = False
+            epoch = now_ms // 4000
+            if (
+                serving is self._cap_serving
+                and sinr == self._cap_sinr
+                and epoch == self._cap_epoch
+            ):
+                capacity = self._cap_value
+            else:
+                capacity = self.throughput.capacity_bps(serving, sinr, now_ms)
+                self._cap_serving, self._cap_sinr = serving, sinr
+                self._cap_epoch, self._cap_value = epoch, capacity
+        if self.is_speedtest:
+            delivered_bits = capacity * self.tick_ms / 1000.0
+        else:
+            delivered_bits = self.traffic.delivered_bits(capacity, self.tick_ms, now_ms)
+        self.delivered_bits += delivered_bits
+        if serving is self._occ_cell:
+            self._occ_run += 1
+        else:
+            if self._occ_run:
+                self.occupancy[self._occ_cell.cell_id] += self._occ_run
+            self._occ_cell = serving
+            self._occ_run = 1
+        self.n_ticks += 1
+        if self.samples is not None:
+            self.samples.append(
+                TickSample(
+                    t_ms=now_ms,
+                    serving=serving.cell_id,
+                    rsrp_dbm=rsrp,
+                    sinr_db=sinr,
+                    capacity_bps=capacity,
+                    delivered_bps=delivered_bits * 1000.0 / self.tick_ms,
+                    interrupted=interrupted,
+                )
+            )
+        if self.is_ping and self.traffic.probe_due(now_ms, self.tick_ms):
+            if self.throughput.ping_lost(sinr, interrupted):
+                self.ping_rtts.append((now_ms, None))
+            else:
+                self.ping_rtts.append((now_ms, self.throughput.rtt_ms(sinr)))
+
+    def finish(self, keep_samples: bool) -> UEResult:
+        if self._occ_run:
+            self.occupancy[self._occ_cell.cell_id] += self._occ_run
+            self._occ_run = 0
+        diag = self.writer.getvalue()
+        return UEResult(
+            index=self.spec.index,
+            profile=self.spec.profile,
+            carrier=self.spec.carrier,
+            seed=self.spec.seed,
+            tick_ms=self.tick_ms,
+            n_ticks=self.n_ticks,
+            handoffs=list(self.ue.handoffs),
+            ping_rtts_ms=self.ping_rtts,
+            diag_sha256=hashlib.sha256(diag).hexdigest(),
+            diag_len=len(diag),
+            delivered_bits=self.delivered_bits,
+            interrupted_ticks=self.interrupted_ticks,
+            occupancy={str(k): v for k, v in sorted(self.occupancy.items())},
+            intra_freq_rounds=self.ue.meas.intra_freq_rounds,
+            non_intra_freq_rounds=self.ue.meas.non_intra_freq_rounds,
+            samples=self.samples if keep_samples else None,
+            diag_log=diag if keep_samples else None,
+        )
+
+
+@dataclass
+class _ShardResult:
+    """Picklable outcome of one :class:`FleetShardUnit`."""
+
+    ues: list[UEResult]
+    cache: dict
+    profile: dict | None = None
+
+
+class FleetSimulator:
+    """Runs a slice of a fleet in lockstep with batched per-tick passes."""
+
+    #: Mover physics look-ahead: one broadcast RSRP pass covers this
+    #: many future ticks of a trajectory per neighborhood.
+    _LOOKAHEAD_TICKS = 32
+
+    def __init__(self, scenario: DriveScenario, options: FleetOptions):
+        self.scenario = scenario
+        self.options = options
+        self._transit_cache: dict[int, Trajectory] = {}
+        #: (trajectory id, carrier) -> (anchor tick ms, snapshot chunk).
+        self._lookahead: dict[tuple, tuple[int, list]] = {}
+        self.profile: dict[str, float] | None = {} if _profile_enabled() else None
+
+    def _trajectory(self, spec: UESpec) -> Trajectory:
+        if spec.profile == "transit":
+            line = spec.index % self.options.transit_lines
+            trajectory = self._transit_cache.get(line)
+            if trajectory is None:
+                trajectory = transit_trajectory(self.scenario, self.options, line)
+                self._transit_cache[line] = trajectory
+            return trajectory
+        return trajectory_for(self.scenario, self.options, spec)
+
+    def simulate_shard(self, start: int, count: int) -> _ShardResult:
+        """Simulate UEs ``start .. start+count`` and report cache deltas."""
+        env = self.scenario.env
+        hits0, misses0 = env.snapshot_cache_hits, env.snapshot_cache_misses
+        ues = self.simulate(start, count)
+        cache = env.snapshot_cache_stats()
+        cache["hits"] -= hits0
+        cache["misses"] -= misses0
+        total = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = (cache["hits"] / total) if total else 0.0
+        return _ShardResult(ues=ues, cache=cache, profile=self.profile)
+
+    def simulate(self, start: int = 0, count: int | None = None) -> list[UEResult]:
+        """Lockstep-simulate UEs ``start .. start+count`` of the fleet."""
+        options = self.options
+        if options.config_lint:
+            # Imported here: repro.lint reaches repro.core, whose package
+            # init imports simulate back.
+            from repro.lint.engine import warn_before_run
+
+            for carrier in options.carriers:
+                warn_before_run(self.scenario.env, self.scenario.server, carrier)
+        specs = ue_specs(options, start, count)
+        lanes = [
+            _Lane(
+                spec,
+                self._trajectory(spec),
+                self.scenario,
+                options.tick_ms,
+                make_traffic(options.traffic),
+                options.keep_samples,
+            )
+            for spec in specs
+        ]
+        env = self.scenario.env
+        profile = self.profile
+        now_ms = 0
+        tick_index = 0
+        active = list(lanes)
+        # Parked lanes hold one position (and one warm snapshot memo,
+        # left by their initial camp) for the whole run: only movers
+        # need the per-tick position/spot passes.
+        movers = [lane for lane in active if not lane.static]
+        n_static_spots = len(active) - len(movers)
+        # Persistent (UE x cell) measurement matrices; each lane owns
+        # one row for the whole lockstep run.
+        batch_state = BatchMeasurementState(len(lanes))
+        batch_state.profile = profile
+        for row, lane in enumerate(lanes):
+            lane.row = row
+        while active:
+            t0 = perf_counter() if profile is not None else 0.0
+            # Positions: one interpolation per distinct trajectory.
+            positions: dict[int, object] = {}
+            for lane in movers:
+                key = id(lane.trajectory)
+                position = positions.get(key)
+                if position is None:
+                    position = lane.trajectory.position(now_ms)
+                    positions[key] = position
+                lane.location = position
+            # Snapshot sharing: one physics pass per occupied
+            # (location, carrier) spot; co-located lanes adopt it.
+            spots: dict[tuple, list[_Lane]] = {}
+            for lane in movers:
+                location = lane.location
+                spots.setdefault((location.x, location.y, lane.carrier), []).append(lane)
+            if tick_index % 128 == 0:
+                env.reserve_snapshot_capacity(len(spots) + n_static_spots)
+            # Spots whose first lane already holds this tick's snapshot
+            # reuse it; the rest draw theirs from a per-trajectory
+            # look-ahead chunk of precomputed physics.
+            for group in spots.values():
+                first = group[0]
+                meas = first.ue.meas
+                location = first.location
+                if (location.x, location.y, first.carrier) == meas._snap_key:
+                    snap = meas._snap
+                    adopters = group[1:]
+                else:
+                    snap = self._lookahead_snap(first, now_ms)
+                    adopters = group
+                for lane in adopters:
+                    lane.ue.meas.adopt_snapshot(lane.location, lane.carrier, snap)
+            if profile is not None:
+                now = perf_counter()
+                profile["fleet_physics"] = profile.get("fleet_physics", 0.0) + now - t0
+                t0 = now
+            # One batched measurement + event pass over all eligible
+            # lanes, whatever neighborhood each lives in.  A previously
+            # batched lane that drops out (handover due, idle, RLF) is
+            # detached first: the batch matrices update in place, so its
+            # engine must own private arrays before the batch steps on
+            # without it.
+            batch: list[_Lane] = []
+            for lane in active:
+                ue = lane.ue
+                command = ue.pending_handover
+                if (
+                    ue.state is RrcState.CONNECTED
+                    and ue.serving is not None
+                    and ue.serving.rat is RAT.LTE
+                    and ue.meas.vectorized
+                    and not (command is not None and now_ms >= command.execute_at_ms)
+                ):
+                    # The spots pass above (or the initial camp, for
+                    # parked lanes) set every lane's snapshot memo, so
+                    # _batch_step can read meas._snap directly.
+                    batch.append(lane)
+                    lane.batched = True
+                elif lane.batched:
+                    lane.batched = False
+                    batch_state.detach(ue.meas)
+            if batch:
+                self._batch_step(now_ms, batch, batch_state)
+            if profile is not None:
+                now = perf_counter()
+                profile["fleet_batch"] = profile.get("fleet_batch", 0.0) + now - t0
+                t0 = now
+            # Per-lane tick: consumes the pending rounds and injected
+            # masks; lanes outside the batch take the normal path.
+            for lane in active:
+                lane.step(now_ms)
+            if profile is not None:
+                profile["fleet_lanes"] = profile.get("fleet_lanes", 0.0) + perf_counter() - t0
+            now_ms += options.tick_ms
+            tick_index += 1
+            if any(now_ms > lane.trajectory.duration_ms for lane in active):
+                active = [
+                    lane for lane in active if now_ms <= lane.trajectory.duration_ms
+                ]
+                movers = [lane for lane in active if not lane.static]
+                n_static_spots = len(active) - len(movers)
+                # Compact the batch matrices when the fleet shrinks: the
+                # ufunc phase runs over every allocated row, so a long
+                # mover tail after the parked lanes finish would keep
+                # paying full-fleet matrix passes.  A fresh state's
+                # identity checks refresh each surviving row from its
+                # engine (whose old row views stay valid — the abandoned
+                # buffers are never written again), so rebuilding changes
+                # no UE-visible value.
+                if active and len(active) < 0.7 * batch_state.n_rows:
+                    batch_state = BatchMeasurementState(len(active))
+                    batch_state.profile = profile
+                    for row, lane in enumerate(active):
+                        lane.row = row
+        return [lane.finish(options.keep_samples) for lane in lanes]
+
+    def _lookahead_snap(self, lane: _Lane, now_ms: int):
+        """This tick's snapshot for a moving lane, physics precomputed.
+
+        A trajectory's future positions are a pure function of time, so
+        the RSRP chain for the next ``_LOOKAHEAD_TICKS`` ticks runs as
+        one broadcast pass per prepared neighborhood
+        (:meth:`RadioEnvironment.snapshot_batch`); every lane riding the
+        same trajectory and carrier consumes the same chunk.  Each
+        snapshot is bit-identical to what ``env.snapshot`` would build
+        at that (location, tick) — only when it is computed changes.
+        """
+        key = (id(lane.trajectory), lane.carrier)
+        tick_ms = self.options.tick_ms
+        entry = self._lookahead.get(key)
+        if entry is not None:
+            idx = (now_ms - entry[0]) // tick_ms
+            if 0 <= idx < len(entry[1]):
+                return entry[1][idx]
+        trajectory = lane.trajectory
+        horizon = max(
+            min(
+                self._LOOKAHEAD_TICKS,
+                (trajectory.duration_ms - now_ms) // tick_ms + 1,
+            ),
+            1,
+        )
+        spots = [
+            (trajectory.position(now_ms + k * tick_ms), lane.carrier)
+            for k in range(horizon)
+        ]
+        snaps = self.scenario.env.snapshot_batch(spots, radius_m=lane.ue.meas.radius_m)
+        # Prime the chunk's RSRQ/SINR arrays in one batched pass per
+        # shared prepared set (rows bit-identical to the lazy
+        # per-snapshot computation), so the per-tick consumers — raw
+        # measurement rows, the runner's ground truth — never pay
+        # ``_compute_metrics`` snapshot by snapshot.
+        groups: dict[int, list] = {}
+        for snap in snaps:
+            if snap._metrics is None and snap.prepared.cells:
+                groups.setdefault(id(snap.prepared), []).append(snap)
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            rsrp_mat = np.stack([s.rsrp_array for s in members])
+            rsrq, sinr, power_mw, own_totals = compute_metrics_batch(
+                members[0].prepared, rsrp_mat
+            )
+            for k, s in enumerate(members):
+                s.prime_metrics(rsrq[k], sinr[k], power_mw[k], own_totals[k])
+        self._lookahead[key] = (now_ms, snaps)
+        return snaps[0]
+
+    def _batch_step(
+        self, now_ms: int, group: list[_Lane], state: BatchMeasurementState
+    ) -> None:
+        """Advance every batched UE of this tick in matrix form."""
+        snaps = [lane.ue.meas._snap for lane in group]
+        engines = [lane.ue.meas for lane in group]
+        servings = [lane.ue.serving for lane in group]
+        # Matrices are indexed by each lane's persistent row, not its
+        # position in this tick's batch: ``rows[gi]`` maps between them.
+        rows = [lane.row for lane in group]
+        profile = self.profile
+        t0 = perf_counter() if profile is not None else 0.0
+        filt_rsrp, filt_rsrq, eligible = state.step(rows, engines, snaps, servings)
+        if profile is not None:
+            now = perf_counter()
+            profile["fb_state"] = profile.get("fb_state", 0.0) + now - t0
+            t0 = now
+        # Event pass.  Lanes are grouped by armed-event *signature* (the
+        # tuple of (event, metric) pairs the monitor armed), not by
+        # neighborhood: parked UEs scatter over ~50 distinct prepared
+        # lists per tick, so neighborhood subgroups degenerate into
+        # singletons, while a carrier arms only a handful of signatures.
+        # Per-config parameters (hysteresis, thresholds, offset) become
+        # per-member columns; elementwise, ``v[k, j] - hys[k] > th[k]``
+        # is the identical IEEE double comparison entry_mask evaluates
+        # with scalar parameters, so each lane's row stays bit-exact
+        # while one masked pass covers nearly the whole batch.
+        serving_memo = state._serving_memo
+        rat_lte = state._rat_lte
+        # Rounds are materialized lazily: only lanes whose tick actually
+        # consumes one (non-quiet members, and every batched lane the
+        # member loop below does not cover — their ue.tick would
+        # otherwise recompute the round and re-draw RNG) get one.
+        def make_round(gi: int):
+            prepared = snaps[gi].prepared
+            r = rows[gi]
+            n = len(prepared.cells)
+            round_ = MeasurementRound(
+                prepared, filt_rsrp[r, :n], filt_rsrq[r, :n], eligible[r, :n]
+            )
+            engines[gi]._pending_round = round_
+            return round_
+
+        groups: dict[tuple, list[tuple]] = {}
+        for gi, lane in enumerate(group):
+            ue = lane.ue
+            lane.quiet = False
+            monitor = ue.monitor
+            if monitor is None or ue.pending_handover is not None:
+                make_round(gi)
+                continue
+            # state.step just refreshed the (serving, prepared, index)
+            # memo for this row; reuse it instead of re-hashing the id.
+            serving_i = serving_memo[rows[gi]][2]
+            if serving_i is None:
+                # Serving inaudible: the lane's own path handles RLF.
+                make_round(gi)
+                continue
+            info = monitor._batch_info
+            if info is None:
+                info = _monitor_batch_info(monitor.meas_config)
+                monitor._batch_info = info
+            groups.setdefault(info[0], []).append((gi, serving_i, monitor, info))
+        if profile is not None:
+            now = perf_counter()
+            profile["fb_group"] = profile.get("fb_group", 0.0) + now - t0
+            t0 = now
+        arange_cache: np.ndarray | None = None
+        for signature, members in groups.items():
+            m = len(members)
+            mrows = np.fromiter((rows[t[0]] for t in members), dtype=np.intp, count=m)
+            scols = np.fromiter((t[1] for t in members), dtype=np.intp, count=m)
+            params = np.stack([t[3][1] for t in members])  # (m, events, 4)
+            gates = np.fromiter((t[3][2] for t in members), dtype=np.float64, count=m)
+            sv_rsrp = filt_rsrp[mrows, scols]
+            sv_rsrq = filt_rsrq[mrows, scols]
+            # The s-Measure gate, one comparison for the whole group
+            # (exactly the scalar per-lane check).
+            gate_open = sv_rsrp <= gates
+            if arange_cache is None or len(arange_cache) < m:
+                arange_cache = np.arange(m)
+            # Neighbor candidates: eligibility minus the serving column,
+            # zeroed wholesale for gate-closed members (step_round hands
+            # them no candidates, so their neighbor events never fire).
+            base = eligible[mrows]  # fancy indexing copies
+            base[arange_cache[:m], scols] = False
+            base &= gate_open[:, None]
+            ratm = rat_lte[mrows]
+            intra = base & ratm
+            inter = base & ~ratm
+            values = {"rsrp": filt_rsrp[mrows], "rsrq": filt_rsrq[mrows]}
+            serving_values = {"rsrp": sv_rsrp, "rsrq": sv_rsrq}
+            #: Per-member: does ANY armed event's entry condition hold?
+            any_entry = np.zeros(m, dtype=bool)
+            entries: list = [None] * len(signature)
+            for e_i, (event, metric) in enumerate(signature):
+                hys = params[:, e_i, 0]
+                if event.needs_neighbor:
+                    # entry_mask_batch's comparisons with the scalar
+                    # parameters lifted to per-member columns.
+                    v = values[metric]
+                    hcol = hys[:, None]
+                    if event in (EventType.A3, EventType.A6):
+                        s = serving_values[metric]
+                        entry = v - hcol > (s + params[:, e_i, 3])[:, None]
+                    elif event in (EventType.A4, EventType.B1):
+                        entry = v - hcol > params[:, e_i, 1][:, None]
+                    else:  # A5 / B2
+                        s = serving_values[metric]
+                        serving_ok = s + hys < params[:, e_i, 1]
+                        entry = serving_ok[:, None] & (v - hcol > params[:, e_i, 2][:, None])
+                    entry &= inter if event.is_inter_rat else intra
+                    hot = entry.any(axis=1)
+                    if hot.any():
+                        any_entry |= hot
+                        entries[e_i] = (entry, hot)
+                else:
+                    # A1/A2: the scalar evaluate_entry comparison lifted
+                    # over the member axis (same IEEE double ops).
+                    s = serving_values[metric]
+                    if event is EventType.A1:
+                        any_entry |= s - hys > params[:, e_i, 1]
+                    else:
+                        any_entry |= s + hys < params[:, e_i, 1]
+            if profile is not None:
+                now = perf_counter()
+                profile["fb_vector"] = profile.get("fb_vector", 0.0) + now - t0
+                t0 = now
+            for o_i in range(m):
+                gi, serving_i, monitor, info = members[o_i]
+                periodic = info[3]
+                open_ = gate_open[o_i]
+                # Quiet iff no entry holds, every event's TTT/report
+                # state is empty, and no periodic report is due — then
+                # step_round would mutate nothing, and the lane takes
+                # the no-op fast path (UserEquipment.quiet_tick).
+                quiet = not any_entry[o_i]
+                if quiet:
+                    for event_state in monitor._states:
+                        if event_state.entry_since or event_state.reported:
+                            quiet = False
+                            break
+                if quiet and periodic is not None and open_:
+                    last = monitor._last_periodic_ms
+                    if last is None or now_ms - last >= periodic.report_interval_ms:
+                        quiet = False
+                lane = group[gi]
+                if quiet:
+                    # No round: quiet_tick only bumps counters — plus a
+                    # due PHY emission, whose serving metrics are lifted
+                    # out of the batch matrices here.
+                    lane.quiet = True
+                    ue = lane.ue
+                    last = ue._last_phy_meas_ms
+                    if last is None or now_ms - last >= ue.phy_meas_interval_ms:
+                        lane.quiet_fm = (float(sv_rsrp[o_i]), float(sv_rsrq[o_i]))
+                    else:
+                        lane.quiet_fm = None
+                else:
+                    round_ = make_round(gi)
+                    if open_:
+                        ue = lane.ue
+                        n = len(snaps[gi].prepared.cells)
+                        round_._masks[ue.serving.cell_id] = (
+                            intra[o_i, :n],
+                            inter[o_i, :n],
+                        )
+                        monitor._injected_entries = [
+                            e[0][o_i] if e is not None and e[1][o_i] else None
+                            for e in entries
+                        ]
+            if profile is not None:
+                now = perf_counter()
+                profile["fb_members"] = profile.get("fb_members", 0.0) + now - t0
+                t0 = now
+
+
+@dataclass(frozen=True)
+class FleetShardUnit(WorkUnit):
+    """One shard of a fleet: UEs ``start .. start+count``.
+
+    Self-contained and self-seeded: the worker rebuilds the scenario
+    from the options' :class:`ScenarioSpec` (process-cached) and every
+    UE's seed derives from (fleet_seed, index), so results are
+    bit-identical however the fleet is sharded.
+    """
+
+    unit_id: int
+    options: FleetOptions
+    start: int
+    count: int
+
+    def run(self) -> _ShardResult:
+        scenario = self.options.scenario.build()
+        simulator = FleetSimulator(scenario, self.options)
+        return simulator.simulate_shard(self.start, self.count)
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produces."""
+
+    options: FleetOptions
+    ues: list[UEResult]
+    aggregates: FleetAggregates
+    elapsed_s: float
+    snapshot_cache: dict = field(default_factory=dict)
+    profile: dict | None = None
+
+    @property
+    def ue_ticks_per_s(self) -> float:
+        """Aggregate simulation throughput (UE-ticks per wall second)."""
+        return self.aggregates.total_ticks / self.elapsed_s if self.elapsed_s else 0.0
+
+
+def _env_workers() -> int:
+    try:
+        return max(int(os.environ.get("REPRO_WORKERS", "1")), 1)
+    except ValueError:
+        return 1
+
+
+def run_fleet(
+    options: FleetOptions,
+    workers: int | None = None,
+    backend: ExecutionBackend | None = None,
+) -> FleetResult:
+    """Simulate a whole fleet, sharded over pipeline workers.
+
+    Worker count changes wall-clock time only: shards are merged in
+    ``unit_id`` order and every UE is self-seeded, so the result stream
+    is byte-identical for any ``workers``.
+    """
+    if workers is None:
+        workers = options.workers if options.workers is not None else _env_workers()
+    shard_size = max(options.shard_size, 1)
+    units = [
+        FleetShardUnit(
+            unit_id=i,
+            options=options,
+            start=start,
+            count=min(shard_size, options.n_ues - start),
+        )
+        for i, start in enumerate(range(0, options.n_ues, shard_size))
+    ]
+    resolved = resolve_backend(workers, backend)
+    started = perf_counter()
+    ues: list[UEResult] = []
+    cache = {"hits": 0, "misses": 0}
+    profile: dict[str, float] = {}
+    for shard in resolved.run(units):
+        ues.extend(shard.ues)
+        cache["hits"] += shard.cache.get("hits", 0)
+        cache["misses"] += shard.cache.get("misses", 0)
+        if shard.profile:
+            for stage, seconds in shard.profile.items():
+                profile[stage] = profile.get(stage, 0.0) + seconds
+    elapsed = perf_counter() - started
+    total = cache["hits"] + cache["misses"]
+    cache["hit_rate"] = (cache["hits"] / total) if total else 0.0
+    return FleetResult(
+        options=options,
+        ues=ues,
+        aggregates=aggregate(ues, options.tick_ms),
+        elapsed_s=elapsed,
+        snapshot_cache=cache,
+        profile=profile or None,
+    )

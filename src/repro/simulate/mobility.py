@@ -143,6 +143,21 @@ def static_position(location: Point, duration_s: float = 600.0) -> Trajectory:
     )
 
 
+def parked_position(location: Point, duration_s: float = 600.0) -> Trajectory:
+    """A truly parked device: ``position(t)`` is ``location`` exactly.
+
+    Unlike :func:`static_position` (whose 1 cm drift makes every tick a
+    distinct location), the returned trajectory clamps to its first
+    waypoint for the whole duration, so per-tick snapshot memos hit and
+    a parked fleet shares one physics pass per spot for its entire run.
+    """
+    duration_ms = max(int(duration_s * 1000), 1)
+    return Trajectory(
+        waypoints=(location, location),
+        times_ms=(duration_ms, duration_ms + 1),
+    )
+
+
 def waypoint_ring(city: City, n: int = 12, radius_fraction: float = 0.6) -> list[Point]:
     """Evenly spaced points on a circle inside the city (test anchors)."""
     radius = city.rings * city.site_spacing_m * radius_fraction

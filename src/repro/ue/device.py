@@ -316,6 +316,50 @@ class UserEquipment:
         self.handoffs.extend(events)
         return events
 
+    def quiet_tick(
+        self,
+        now_ms: int,
+        serving_rsrp: float | None = None,
+        serving_rsrq: float | None = None,
+    ) -> None:
+        """Bookkeeping for a tick the batched pass proved a no-op.
+
+        The fleet's batched event pass calls this instead of
+        :meth:`tick` when it has already established every fact the
+        full path would discover: the device is connected with a
+        monitor armed, no handover is pending, the serving cell was
+        measured this round, no armed event's entry condition holds
+        anywhere, every event's TTT/report state is empty, and no
+        periodic report is due.  Under those facts
+        :meth:`_connected_step` changes nothing besides the round
+        counters and (possibly) the periodic PHY serving-measurement
+        emission — so only those happen here, bit-identically.  The
+        caller passes the serving cell's filtered metrics exactly when
+        the PHY emission is due (it checks the cadence itself); no
+        measurement round is materialized, so ``last_measurements`` is
+        not updated on quiet ticks.
+        """
+        meas = self.meas
+        meas.intra_freq_rounds += 1
+        meas.non_intra_freq_rounds += 1
+        if serving_rsrp is not None:
+            self._last_phy_meas_ms = now_ms
+            cell = self.serving
+            self._notify(
+                now_ms,
+                PhyServingMeas(
+                    carrier=cell.carrier,
+                    gci=cell.cell_id.gci,
+                    channel=cell.channel,
+                    rat=cell.rat.value,
+                    rsrp_dbm=serving_rsrp,
+                    rsrq_db=serving_rsrq,
+                    sinr_db=0.0,
+                    rrc_connected=self.state is RrcState.CONNECTED,
+                ),
+                "down",
+            )
+
     # -- connected mode -----------------------------------------------------
 
     def _connected_step(self, now_ms: int, location) -> None:

@@ -23,12 +23,14 @@ from __future__ import annotations
 import os
 from collections.abc import Mapping
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.cellnet.cell import Cell, CellId
 from repro.cellnet.radio import PreparedCells, RadioSnapshot
 from repro.cellnet.rat import (
+    RAT,
     RSRP_RANGE_DBM,
     RSRQ_RANGE_DB,
     clamp_rsrp,
@@ -236,14 +238,49 @@ class MeasurementEngine:
         #: sampling) shares a single vectorized RSRP computation.
         self._snap_key: tuple | None = None
         self._snap: RadioSnapshot | None = None
+        #: A measurement round computed ahead of time by the fleet
+        #: simulator's batched pass; the next :meth:`step` consumes it
+        #: instead of recomputing (the batch already advanced this
+        #: engine's RNG and filter state identically).
+        self._pending_round: MeasurementRound | None = None
         #: Count of measurement rounds performed, split by kind — the
         #: measurement-efficiency analysis (Fig. 11) consumes these.
         self.intra_freq_rounds = 0
         self.non_intra_freq_rounds = 0
+        #: Buffered standard-normal tap (see :meth:`_noise`).
+        self._noise_buf: np.ndarray | None = None
+        self._noise_pos = 0
+
+    def _noise(self, m: int) -> np.ndarray:
+        """``m`` standard normals from this engine's stream, buffered.
+
+        ``Generator.standard_normal`` hands out elements sequentially
+        from the bit stream, so any partition of draws into calls yields
+        the same element sequence.  Serving slices of one large buffered
+        draw is therefore bit-identical to ``m`` direct draws — leftover
+        tail values are carried across refills, never discarded, keeping
+        the served sequence exactly the unbuffered one.  All vectorized
+        measurement paths (solo, connected batch, fleet matrix) draw
+        through this tap, which is what keeps a fleet lane's stream
+        aligned with the same UE simulated solo.
+        """
+        buf = self._noise_buf
+        pos = self._noise_pos
+        if buf is None or len(buf) - pos < m:
+            keep = 0 if buf is None else len(buf) - pos
+            new = np.empty(keep + max(4096, m))
+            if keep:
+                new[:keep] = buf[pos:]
+            self.rng.standard_normal(out=new[keep:])
+            self._noise_buf = buf = new
+            pos = 0
+        self._noise_pos = pos + m
+        return buf[pos : pos + m]
 
     def reset(self) -> None:
         """Drop filter state (called after a handoff/reselection)."""
         self._filtered.clear()
+        self._pending_round = None
         if self._has_filt is not None:
             self._has_filt = np.zeros(len(self._has_filt), dtype=bool)
 
@@ -260,6 +297,18 @@ class MeasurementEngine:
         snap = self.env.snapshot(location, carrier, radius_m=self.radius_m)
         self._snap_key, self._snap = key, snap
         return snap
+
+    def adopt_snapshot(self, location, carrier: str, snap: RadioSnapshot) -> None:
+        """Install a snapshot taken by a co-located UE into the memo.
+
+        The fleet simulator computes one physics pass per occupied spot
+        per tick; every other UE at the same (location, carrier) adopts
+        the identical snapshot instead of recomputing it.  Values are
+        exactly what :meth:`snapshot` would have produced (the pass is
+        deterministic in its inputs).
+        """
+        self._snap_key = (location.x, location.y, carrier)
+        self._snap = snap
 
     def step(
         self,
@@ -281,6 +330,17 @@ class MeasurementEngine:
         dict on the scalar path, a :class:`MeasurementRound` on the
         vectorized one.
         """
+        pending = self._pending_round
+        if pending is not None:
+            # The fleet's batched pass already performed this exact round
+            # (same snapshot, serving and gating) and committed the
+            # filter state; consuming it only needs the bookkeeping.
+            self._pending_round = None
+            if measure_intra:
+                self.intra_freq_rounds += 1
+            if measure_non_intra:
+                self.non_intra_freq_rounds += 1
+            return pending
         snap = self.snapshot(location, carrier)
         if measure_intra:
             self.intra_freq_rounds += 1
@@ -321,10 +381,14 @@ class MeasurementEngine:
         prepared = snap.prepared
         n = len(prepared.cells)
         rsrp_arr, rsrq_arr, _ = snap.metric_arrays()
-        # The noise draws mirror the scalar path exactly (same RNG
-        # stream: two length-n draws per round, eligible or not).
-        noise_rsrp = self.rng.normal(0.0, self.noise_std_db, n)
-        noise_rsrq = self.rng.normal(0.0, self.noise_std_db / 2.0, n)
+        # The noise draws mirror the scalar path exactly: Generator.normal
+        # consumes one standard normal per element and scales it, so one
+        # combined 2n draw split and scaled yields bit-identical values
+        # to the scalar path's two length-n draws while paying the
+        # generator call overhead once (amortized further by the tap).
+        z = self._noise(2 * n)
+        noise_rsrp = z[:n] * self.noise_std_db
+        noise_rsrq = z[n:] * (self.noise_std_db / 2.0)
         if self._aligned is not prepared:
             self._realign(prepared)
         eligible = rsrp_arr >= self.detection_floor_dbm
@@ -354,6 +418,97 @@ class MeasurementEngine:
         # as the scalar path deletes their dict entries.
         self._filt_rsrp, self._filt_rsrq, self._has_filt = filt_rsrp, filt_rsrq, eligible
         return MeasurementRound(prepared, filt_rsrp, filt_rsrq, eligible)
+
+    #: Raw-metric value used to pad batch rows past a lane's own cell
+    #: count: far below every detection floor, so padded positions are
+    #: never eligible, and sliced away before anything is committed.
+    _BATCH_PAD = -1.0e9
+
+    @staticmethod
+    def step_connected_batch(
+        engines: list["MeasurementEngine"],
+        snaps: list[RadioSnapshot],
+        servings: list[Cell],
+    ) -> tuple[list[MeasurementRound], np.ndarray, np.ndarray, np.ndarray]:
+        """One full-measure connected round for many engines at once.
+
+        Lanes may live in *different* snapshot-cache neighborhoods: row
+        ``g`` spans its own prepared cell list and is padded out to the
+        batch-wide maximum with :data:`_BATCH_PAD` (ineligible by
+        construction).  Every per-cell update is elementwise, so row
+        ``g``'s leading ``n_g`` values reproduce engine ``g``'s own
+        :meth:`_step_vectorized` bit for bit: the noise comes from each
+        engine's own RNG (same draws, same order), and the clamp/IIR
+        updates are the same ufuncs broadcast over the UE axis.  Each
+        engine's round is stashed in ``_pending_round`` for its next
+        :meth:`step` call to consume; filter state is committed here.
+
+        Returns ``(rounds, filt_rsrp, filt_rsrq, eligible)`` with the
+        arrays shaped (UE, max cells) for the caller's batched event
+        pass; callers slice row ``g`` to its own cell count.
+        """
+        g = len(engines)
+        ns = [len(snap.prepared.cells) for snap in snaps]
+        max_n = max(ns)
+        pad = MeasurementEngine._BATCH_PAD
+        rsrp_raw = np.full((g, max_n), pad)
+        rsrq_raw = np.full((g, max_n), pad)
+        noise_rsrp = np.zeros((g, max_n))
+        noise_rsrq = np.zeros((g, max_n))
+        prev_rsrp = np.zeros((g, max_n))
+        prev_rsrq = np.zeros((g, max_n))
+        has = np.zeros((g, max_n), dtype=bool)
+        floors = np.empty((g, 1))
+        alpha = np.empty((g, 1))
+        stds = np.empty((g, 1))
+        for gi in range(g):
+            eng, snap, n = engines[gi], snaps[gi], ns[gi]
+            prepared = snap.prepared
+            raw_rsrp, raw_rsrq, _ = snap.metric_arrays()
+            rsrp_raw[gi, :n] = raw_rsrp
+            rsrq_raw[gi, :n] = raw_rsrq
+            z = eng._noise(2 * n)
+            noise_rsrp[gi, :n] = z[:n]
+            noise_rsrq[gi, :n] = z[n:]
+            if eng._aligned is not prepared:
+                eng._realign(prepared)
+            prev_rsrp[gi, :n] = eng._filt_rsrp
+            prev_rsrq[gi, :n] = eng._filt_rsrq
+            has[gi, :n] = eng._has_filt
+            floors[gi, 0] = eng.detection_floor_dbm
+            alpha[gi, 0] = eng.alpha
+            stds[gi, 0] = eng.noise_std_db
+        # Scaling the unit draws afterwards is the same multiply the
+        # per-engine path performs (z * std, z * (std / 2)).
+        noise_rsrp *= stds
+        noise_rsrq *= stds / 2.0
+        eligible = rsrp_raw >= floors
+        for gi, serving in enumerate(servings):
+            serving_i = snaps[gi].prepared.index.get(serving.cell_id)
+            if serving_i is not None:
+                eligible[gi, serving_i] = True
+        lo, hi = RSRP_RANGE_DBM
+        noisy_rsrp = np.minimum(np.maximum(rsrp_raw + noise_rsrp, lo), hi)
+        lo, hi = RSRQ_RANGE_DB
+        noisy_rsrq = np.minimum(np.maximum(rsrq_raw + noise_rsrq, lo), hi)
+        one_minus_alpha = 1.0 - alpha
+        filt_rsrp = np.where(
+            has, one_minus_alpha * prev_rsrp + alpha * noisy_rsrp, noisy_rsrp
+        )
+        filt_rsrq = np.where(
+            has, one_minus_alpha * prev_rsrq + alpha * noisy_rsrq, noisy_rsrq
+        )
+        rounds: list[MeasurementRound] = []
+        for gi in range(g):
+            eng, n = engines[gi], ns[gi]
+            row_rsrp = filt_rsrp[gi, :n]
+            row_rsrq = filt_rsrq[gi, :n]
+            row_elig = eligible[gi, :n]
+            eng._filt_rsrp, eng._filt_rsrq, eng._has_filt = row_rsrp, row_rsrq, row_elig
+            round_ = MeasurementRound(snaps[gi].prepared, row_rsrp, row_rsrq, row_elig)
+            eng._pending_round = round_
+            rounds.append(round_)
+        return rounds, filt_rsrp, filt_rsrq, eligible
 
     # -- scalar reference path ----------------------------------------------
 
@@ -430,3 +585,273 @@ class MeasurementEngine:
         intra_rat.sort(key=lambda m: (-m.rsrp_dbm, m.cell.cell_id))
         inter_rat.sort(key=lambda m: (-m.rsrp_dbm, m.cell.cell_id))
         return intra_rat, inter_rat
+
+
+class BatchMeasurementState:
+    """Persistent (UE x cell) matrices for a lockstep fleet shard.
+
+    :meth:`MeasurementEngine.step_connected_batch` rebuilds its input
+    matrices from every engine on every call; for a fleet ticking the
+    same UEs in lockstep most rows are unchanged tick over tick (a
+    parked UE's raw snapshot never changes, and its filter state is
+    exactly last tick's output).  This class keeps the matrices alive
+    across ticks, refreshes only rows that went stale, and updates the
+    filter/eligibility matrices **in place**:
+
+    * Raw metric rows are rewritten only when a UE's snapshot object
+      changed (movers every tick, parked UEs never).
+    * The previous-state and output matrices are the *same buffers*:
+      the IIR update writes back into them, so the row views installed
+      into each engine stay valid across ticks and need no per-tick
+      re-commit.  An engine whose arrays were rebuilt outside the batch
+      (handover reset, realignment, a detach by the fleet loop) fails
+      the identity check and gets its row refreshed from the engine,
+      the single source of truth.
+    * Serving-cell eligibility is forced with one fancy-index write
+      from cached row/column arrays, rebuilt only when a serving cell,
+      a neighborhood, or the set of batched rows changes.
+
+    Because the buffers mutate in place, anything derived from row
+    views — :class:`MeasurementRound` objects included — is only valid
+    until the next :meth:`step`; the fleet consumes every round within
+    its tick.  Callers whose engines hold batch row views MUST detach
+    an engine (copy its arrays) before stepping the batch without it,
+    or the full-matrix ufuncs would scribble over live engine state.
+
+    Values are bit-identical to per-engine :meth:`_step_vectorized`
+    rounds for the same reason the stateless batch is: every update is
+    the same elementwise ufunc on the same operand values, and each
+    engine's RNG draws its own noise in its own order
+    (``standard_normal`` twice consumes the stream exactly as one
+    ``normal(0, 1, 2n)`` draw does).
+    """
+
+    def __init__(self, n_rows: int):
+        self.n_rows = n_rows
+        self.max_n = 0
+        # Persistent inputs; prev/has double as the in-place outputs.
+        self._raw_rsrp: np.ndarray | None = None
+        self._raw_rsrq: np.ndarray | None = None
+        self._prev_rsrp: np.ndarray | None = None
+        self._prev_rsrq: np.ndarray | None = None
+        self._has: np.ndarray | None = None
+        self._noise_rsrp: np.ndarray | None = None
+        self._noise_rsrq: np.ndarray | None = None
+        # Elementwise scratch (noisy metrics, IIR terms).
+        self._t1: np.ndarray | None = None
+        self._t2: np.ndarray | None = None
+        self._t3: np.ndarray | None = None
+        self._t4: np.ndarray | None = None
+        #: Padded LTE rat-mask rows for the batched event pass (every
+        #: batched lane serves LTE); refreshed with the raw rows.
+        self._rat_lte: np.ndarray | None = None
+        self._stds = np.zeros((n_rows, 1))
+        self._stds_half = np.zeros((n_rows, 1))
+        self._floors = np.zeros((n_rows, 1))
+        self._alpha = np.zeros((n_rows, 1))
+        self._one_minus_alpha = np.zeros((n_rows, 1))
+        # Per-row validity bookkeeping (engine-array identity).
+        self._last_snap: list = [None] * n_rows
+        self._last_prepared: list = [None] * n_rows
+        self._last_n = [0] * n_rows
+        self._last_view: list = [None] * n_rows
+        self._last_has_view: list = [None] * n_rows
+        #: (serving cell, prepared, serving index) memo per row.
+        self._serving_memo: list = [None] * n_rows
+        #: Cached serving-eligibility write targets (see step()).
+        self._sv_rows: np.ndarray | None = None
+        self._sv_cols: np.ndarray | None = None
+        self._sv_for_rows: list | None = None
+        #: Optional ``REPRO_PROFILE`` stage-timing sink (the fleet
+        #: simulator attaches its own profile dict here).
+        self.profile: dict | None = None
+
+    def _grow(self, need_n: int) -> None:
+        """(Re)allocate matrices for a larger cell axis; all rows stale."""
+        self.max_n = need_n
+        g = self.n_rows
+        pad = MeasurementEngine._BATCH_PAD
+        self._raw_rsrp = np.full((g, need_n), pad)
+        self._raw_rsrq = np.full((g, need_n), pad)
+        self._prev_rsrp = np.zeros((g, need_n))
+        self._prev_rsrq = np.zeros((g, need_n))
+        self._has = np.zeros((g, need_n), dtype=bool)
+        self._noise_rsrp = np.zeros((g, need_n))
+        self._noise_rsrq = np.zeros((g, need_n))
+        self._t1 = np.empty((g, need_n))
+        self._t2 = np.empty((g, need_n))
+        self._t3 = np.empty((g, need_n))
+        self._t4 = np.empty((g, need_n))
+        self._rat_lte = np.zeros((g, need_n), dtype=bool)
+        self._last_snap = [None] * g
+        self._last_prepared = [None] * g
+        self._last_n = [0] * g
+        self._last_view = [None] * g
+        self._last_has_view = [None] * g
+        self._sv_for_rows = None
+
+    def detach(self, eng: MeasurementEngine) -> None:
+        """Give ``eng`` private copies of its batch row views.
+
+        Called by the fleet loop when a lane leaves the batch while the
+        batch keeps stepping: the in-place matrix update would otherwise
+        mutate the engine's live filter state under it.  The copies make
+        the engine self-contained; if the lane returns, the identity
+        check fails and its row is refreshed from the engine.
+        """
+        if eng._filt_rsrp is not None:
+            eng._filt_rsrp = eng._filt_rsrp.copy()
+            eng._filt_rsrq = eng._filt_rsrq.copy()
+            eng._has_filt = eng._has_filt.copy()
+
+    def step(
+        self,
+        rows: list[int],
+        engines: list[MeasurementEngine],
+        snaps: list[RadioSnapshot],
+        servings: list[Cell],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One batched connected round; lane ``k`` lives in row ``rows[k]``.
+
+        Advances every engine's filter state and RNG and returns the
+        ``(filt_rsrp, filt_rsrq, eligible)`` matrices (the persistent
+        in-place buffers, valid until the next call; rows not in
+        ``rows`` hold garbage).  No :class:`MeasurementRound` objects
+        are created here — the caller materializes them only for lanes
+        that actually consume one.
+        """
+        profile = self.profile
+        t0 = perf_counter() if profile is not None else 0.0
+        pad = MeasurementEngine._BATCH_PAD
+        need_n = max(len(snap.prepared.cells) for snap in snaps)
+        if need_n > self.max_n:
+            self._grow(need_n)
+        raw_rsrp, raw_rsrq = self._raw_rsrp, self._raw_rsrq
+        prev_rsrp, prev_rsrq, has = self._prev_rsrp, self._prev_rsrq, self._has
+        noise_rsrp, noise_rsrq = self._noise_rsrp, self._noise_rsrq
+        last_snap, last_n = self._last_snap, self._last_n
+        last_view, last_has_view = self._last_view, self._last_has_view
+        last_prepared = self._last_prepared
+        serving_memo = self._serving_memo
+        rat_lte = self._rat_lte
+        sv_dirty = self._sv_for_rows is None or rows != self._sv_for_rows
+        for k, r in enumerate(rows):
+            eng, snap = engines[k], snaps[k]
+            prepared = snap.prepared
+            n = len(prepared.cells)
+            # One buffered tap read of 2n consumes the stream exactly as
+            # the per-engine path's normal(0, 1, 2n) draw (same values,
+            # same order), copied into the contiguous noise row slices.
+            z = eng._noise(2 * n)
+            noise_rsrp[r, :n] = z[:n]
+            noise_rsrq[r, :n] = z[n:]
+            if snap is not last_snap[r]:
+                rr, rq, _ = snap.metric_arrays()
+                raw_rsrp[r, :n] = rr
+                raw_rsrq[r, :n] = rq
+                if n < last_n[r]:
+                    raw_rsrp[r, n:last_n[r]] = pad
+                    raw_rsrq[r, n:last_n[r]] = pad
+                    # Stale noise tails are multiplied by the row's std
+                    # every tick without being rewritten; left nonzero
+                    # they grow geometrically to overflow (and drag the
+                    # full-matrix ufuncs through non-finite values).
+                    noise_rsrp[r, n:last_n[r]] = 0.0
+                    noise_rsrq[r, n:last_n[r]] = 0.0
+                last_snap[r] = snap
+                last_n[r] = n
+                if prepared is not last_prepared[r]:
+                    rat_lte[r, :n] = prepared.rat_mask(RAT.LTE)
+                    rat_lte[r, n:] = False
+                    last_prepared[r] = prepared
+            if (
+                eng._filt_rsrp is not last_view[r]
+                or eng._has_filt is not last_has_view[r]
+                or eng._aligned is not prepared
+            ):
+                # The engine's arrays were rebuilt outside the batch
+                # (reset, realignment, detach): the engine is the source
+                # of truth — refresh the row from it, then hand the
+                # engine stable views into the in-place buffers.
+                if eng._aligned is not prepared:
+                    eng._realign(prepared)
+                prev_rsrp[r, :n] = eng._filt_rsrp
+                prev_rsrq[r, :n] = eng._filt_rsrq
+                has[r, :n] = eng._has_filt
+                has[r, n:] = False
+                self._stds[r, 0] = eng.noise_std_db
+                self._stds_half[r, 0] = eng.noise_std_db / 2.0
+                self._floors[r, 0] = eng.detection_floor_dbm
+                self._alpha[r, 0] = eng.alpha
+                self._one_minus_alpha[r, 0] = 1.0 - eng.alpha
+                view_rsrp = prev_rsrp[r, :n]
+                view_has = has[r, :n]
+                eng._filt_rsrp = view_rsrp
+                eng._filt_rsrq = prev_rsrq[r, :n]
+                eng._has_filt = view_has
+                last_view[r] = view_rsrp
+                last_has_view[r] = view_has
+            serving = servings[k]
+            memo = serving_memo[r]
+            if memo is None or memo[0] is not serving or memo[1] is not prepared:
+                serving_memo[r] = (serving, prepared, prepared.index.get(serving.cell_id))
+                sv_dirty = True
+        if profile is not None:
+            now = perf_counter()
+            profile["bs_loop"] = profile.get("bs_loop", 0.0) + now - t0
+            t0 = now
+        # Scaling the unit draws is the same multiply the per-engine
+        # path performs (z * std, z * (std / 2)); the noise rows are
+        # consumed destructively (rewritten with fresh draws next tick).
+        np.multiply(noise_rsrp, self._stds, out=noise_rsrp)
+        np.multiply(noise_rsrq, self._stds_half, out=noise_rsrq)
+        t1, t2, t3, t4 = self._t1, self._t2, self._t3, self._t4
+        # minimum(maximum(...)) is the scalar clamp's exact op order.
+        lo, hi = RSRP_RANGE_DBM
+        np.add(raw_rsrp, noise_rsrp, out=t1)
+        np.maximum(t1, lo, out=t1)
+        np.minimum(t1, hi, out=t1)
+        lo, hi = RSRQ_RANGE_DB
+        np.add(raw_rsrq, noise_rsrq, out=t2)
+        np.maximum(t2, lo, out=t2)
+        np.minimum(t2, hi, out=t2)
+        # where(has, (1-a)*prev + a*noisy, noisy), written back into the
+        # prev buffers: the IIR term is materialized first (it reads
+        # prev), then noisy is copied everywhere and overwritten where
+        # has holds — the same selected values np.where produces.
+        np.multiply(self._one_minus_alpha, prev_rsrp, out=t3)
+        np.multiply(self._alpha, t1, out=t4)
+        np.add(t3, t4, out=t3)
+        np.copyto(prev_rsrp, t1)
+        np.copyto(prev_rsrp, t3, where=has)
+        np.multiply(self._one_minus_alpha, prev_rsrq, out=t3)
+        np.multiply(self._alpha, t2, out=t4)
+        np.add(t3, t4, out=t3)
+        np.copyto(prev_rsrq, t2)
+        np.copyto(prev_rsrq, t3, where=has)
+        # Eligibility replaces has in place only after the IIR selection
+        # consumed last tick's values (exactly the allocating version's
+        # dataflow), then serving cells are forced eligible in one
+        # cached fancy-index write.
+        np.greater_equal(raw_rsrp, self._floors, out=has)
+        if profile is not None:
+            now = perf_counter()
+            profile["bs_matrix"] = profile.get("bs_matrix", 0.0) + now - t0
+            t0 = now
+        if sv_dirty:
+            pairs = [
+                (r, serving_memo[r][2])
+                for r in rows
+                if serving_memo[r][2] is not None
+            ]
+            self._sv_rows = np.fromiter(
+                (p[0] for p in pairs), dtype=np.intp, count=len(pairs)
+            )
+            self._sv_cols = np.fromiter(
+                (p[1] for p in pairs), dtype=np.intp, count=len(pairs)
+            )
+            self._sv_for_rows = list(rows)
+        has[self._sv_rows, self._sv_cols] = True
+        if profile is not None:
+            profile["bs_sv"] = profile.get("bs_sv", 0.0) + perf_counter() - t0
+        return prev_rsrp, prev_rsrq, has

@@ -1,0 +1,296 @@
+"""Tests for the fleet simulator (batched multi-UE lockstep runs).
+
+The load-bearing guarantee is bit-parity: a fleet member's outputs
+must equal a solo :class:`DriveSimulator` run with the same seed, no
+matter the fleet size, the worker count, or whether the batched
+(vectorized) or scalar reference path executed it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.rrc.codec import encode_message
+from repro.rrc.messages import PhyServingMeas
+from repro.simulate.fleet import (
+    DEFAULT_MIX,
+    FleetOptions,
+    FleetSimulator,
+    UEResult,
+    _phy_template,
+    aggregate,
+    count_ping_pongs,
+    make_traffic,
+    mix_pattern,
+    run_fleet,
+    trajectory_for,
+    ue_specs,
+)
+from repro.simulate.runner import DriveSimulator
+from repro.simulate.scenarios import ScenarioSpec
+from repro.ue.device import HandoffEvent
+from repro.ue.measurement import MeasurementEngine
+
+#: Small-world spec matching the session ``scenario`` fixture; the
+#: process-level cache makes repeated ``build()`` calls free.
+_SPEC = ScenarioSpec(name="lafayette", seed=7, config_seed=2018)
+
+
+def _options(**overrides) -> FleetOptions:
+    defaults = dict(
+        scenario=_SPEC, n_ues=8, duration_s=40.0, keep_samples=True
+    )
+    defaults.update(overrides)
+    return FleetOptions(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fleet_results():
+    options = _options()
+    return options, FleetSimulator(options.scenario.build(), options).simulate()
+
+
+# -- population assignment ------------------------------------------------
+
+
+def test_mix_pattern_apportionment():
+    pattern = mix_pattern(DEFAULT_MIX)
+    assert len(pattern) == 20
+    counts = {name: pattern.count(name) for name, _ in DEFAULT_MIX}
+    # Largest-remainder over 20 slots: 55/25/10/10 % -> 11/5/2/2.
+    assert counts == {"parked": 11, "transit": 5, "pedestrian": 2, "vehicle": 2}
+
+
+def test_ue_specs_depend_only_on_index():
+    options = _options()
+    full = ue_specs(options)
+    assert [s.index for s in full] == list(range(options.n_ues))
+    assert ue_specs(options, start=3, count=2) == full[3:5]
+    # Seeds are a pure function of (fleet_seed, index): a bigger fleet
+    # keeps every earlier UE's seed and profile.
+    bigger = ue_specs(_options(n_ues=16))
+    assert bigger[: options.n_ues] == full
+
+
+def test_parked_trajectory_holds_position():
+    options = _options()
+    scenario = options.scenario.build()
+    spec = next(s for s in ue_specs(options) if s.profile == "parked")
+    trajectory = trajectory_for(scenario, options, spec)
+    p0 = trajectory.position(0)
+    for t_ms in (0, 1000, int(options.duration_s * 1000)):
+        p = trajectory.position(t_ms)
+        assert (p.x, p.y) == (p0.x, p0.y)
+
+
+# -- bit-parity guarantees ------------------------------------------------
+
+
+def test_fleet_ue_matches_solo_drive(fleet_results):
+    options, results = fleet_results
+    scenario = options.scenario.build()
+    for spec in ue_specs(options):
+        if spec.profile == "parked" and spec.index > 0:
+            continue  # one parked probe is enough; movers are the hard case
+        solo = DriveSimulator(
+            scenario.env,
+            scenario.server,
+            spec.carrier,
+            seed=spec.seed,
+            config_lint=False,
+        ).run(trajectory_for(scenario, options, spec), make_traffic(options.traffic))
+        ue = results[spec.index]
+        assert solo.samples == ue.samples, f"UE {spec.index} ({spec.profile})"
+        assert solo.handoffs == ue.handoffs
+        assert solo.diag_log == ue.diag_log
+        assert solo.ping_rtts_ms == ue.ping_rtts_ms
+
+
+def test_fleet_size_does_not_change_members(fleet_results):
+    options, results = fleet_results
+    small = _options(n_ues=4)
+    small_results = FleetSimulator(small.scenario.build(), small).simulate()
+    for k, ue in enumerate(small_results):
+        assert ue.samples == results[k].samples
+        assert ue.handoffs == results[k].handoffs
+        assert ue.diag_sha256 == results[k].diag_sha256
+
+
+def test_scalar_oracle_matches_batched(fleet_results, monkeypatch):
+    options, results = fleet_results
+    monkeypatch.setenv("REPRO_SCALAR", "1")
+    oracle = FleetSimulator(options.scenario.build(), options).simulate()
+    for vec, ref in zip(results, oracle):
+        assert vec.samples == ref.samples
+        assert vec.handoffs == ref.handoffs
+        assert vec.diag_sha256 == ref.diag_sha256
+        assert vec.ping_rtts_ms == ref.ping_rtts_ms
+
+
+def test_worker_count_does_not_change_output():
+    options = _options(n_ues=6, duration_s=30.0, keep_samples=False, shard_size=2)
+    serial = run_fleet(options, workers=1)
+    sharded = run_fleet(options, workers=2)
+    assert [u.summary_row() for u in serial.ues] == [
+        u.summary_row() for u in sharded.ues
+    ]
+    assert serial.aggregates.to_dict() == sharded.aggregates.to_dict()
+
+
+# -- aggregates -----------------------------------------------------------
+
+
+def _ue(index: int, n_ticks: int, handoffs, delivered=0.0, interrupted=0, occ=None):
+    return UEResult(
+        index=index,
+        profile="vehicle",
+        carrier="A",
+        seed=index,
+        tick_ms=200,
+        n_ticks=n_ticks,
+        handoffs=handoffs,
+        ping_rtts_ms=[],
+        diag_sha256="",
+        diag_len=0,
+        delivered_bits=delivered,
+        interrupted_ticks=interrupted,
+        occupancy=occ or {},
+        intra_freq_rounds=n_ticks,
+        non_intra_freq_rounds=n_ticks,
+    )
+
+
+def _handoff(t_ms: int, source: str, target: str) -> HandoffEvent:
+    from repro.cellnet.cell import CellId
+
+    return HandoffEvent(
+        time_ms=t_ms,
+        kind="active",
+        source=CellId("A", int(source)),
+        target=CellId("A", int(target)),
+        decisive_event="A3",
+        old_rsrp_dbm=-100.0,
+        new_rsrp_dbm=-90.0,
+        intra_freq=True,
+    )
+
+
+def test_count_ping_pongs_window():
+    events = [
+        _handoff(0, "1", "2"),
+        _handoff(5_000, "2", "1"),  # A->B->A within 10 s: counts
+        _handoff(40_000, "1", "3"),
+        _handoff(55_000, "3", "1"),  # 15 s apart: outside the window
+    ]
+    assert count_ping_pongs(events) == 1
+
+
+def test_aggregate_rates():
+    results = [
+        _ue(0, 18_000, [_handoff(0, "1", "2"), _handoff(4_000, "2", "1")],
+            delivered=3.6e9, occ={"A/1": 18_000}),
+        _ue(1, 18_000, [], interrupted=90, occ={"A/2": 18_000}),
+    ]
+    agg = aggregate(results, tick_ms=200)
+    # 36k ticks x 200 ms = 2 UE-hours; 2 handoffs -> 1.0 per UE-hour.
+    assert agg.handoffs_per_ue_hour == pytest.approx(1.0)
+    assert agg.ping_pong_count == 1
+    assert agg.ping_pong_rate == pytest.approx(0.5)
+    # 3.6e9 bits over 7200 s of UE time -> 0.5 Mbit/s mean.
+    assert agg.mean_delivered_mbps == pytest.approx(0.5)
+    assert agg.interrupted_tick_fraction == pytest.approx(90 / 36_000)
+    assert agg.occupancy == {"A/1": 18_000, "A/2": 18_000}
+    assert agg.storm_peak == 1
+
+
+def test_run_aggregates_are_consistent(fleet_results):
+    options, results = fleet_results
+    agg = aggregate(results, options.tick_ms)
+    assert agg.n_ues == options.n_ues
+    assert agg.total_ticks == sum(r.n_ticks for r in results)
+    # Every tick is served by exactly one cell.
+    assert sum(agg.occupancy.values()) == agg.total_ticks
+    assert agg.total_handoffs == sum(len(r.handoffs) for r in results)
+
+
+def test_ue_result_to_drive_result(fleet_results):
+    options, results = fleet_results
+    ue = results[0]
+    drive = ue.to_drive_result()
+    assert drive.samples == ue.samples
+    assert drive.handoffs == ue.handoffs
+    assert drive.diag_log == ue.diag_log
+
+
+# -- internals the fleet leans on ----------------------------------------
+
+
+def test_noise_tap_partition_invariance(env):
+    # standard_normal hands out elements sequentially from the bit
+    # stream, so the buffered tap must serve the exact sequence an
+    # unbuffered engine would draw, for any partition into requests.
+    engine = MeasurementEngine(env, np.random.default_rng(77))
+    unbuffered = np.random.default_rng(77).standard_normal(5000)
+    served = [engine._noise(m).copy() for m in (3, 4096, 1, 800, 100)]
+    tapped = np.concatenate(served)
+    assert tapped.tolist() == unbuffered[: len(tapped)].tolist()
+
+
+def test_phy_template_matches_codec(lte_cell):
+    head, mid, tail, base_sum, length = _phy_template(lte_cell)
+    for rsrp, rsrq in ((-97.25, -11.5), (-140.0, -3.0)):
+        import struct
+
+        p1 = struct.pack("<d", rsrp)
+        p2 = struct.pack("<d", rsrq)
+        spliced = b"".join((head, bytes([3]), p1, mid, bytes([3]), p2, tail))
+        reference = encode_message(
+            PhyServingMeas(
+                carrier=lte_cell.carrier,
+                gci=lte_cell.cell_id.gci,
+                channel=lte_cell.channel,
+                rat=lte_cell.rat.value,
+                rsrp_dbm=rsrp,
+                rsrq_db=rsrq,
+                sinr_db=0.0,
+                rrc_connected=True,
+            )
+        )
+        assert spliced == reference
+        assert len(spliced) == length
+        assert (base_sum + sum(p1) + sum(p2)) & 0xFFFF == sum(reference) & 0xFFFF
+
+
+def test_snapshot_cache_reserve_never_shrinks(env):
+    before = env.snapshot_cache_size
+    env.reserve_snapshot_capacity(10_000)
+    grown = env.snapshot_cache_size
+    assert grown >= 2 * 10_000 + 64
+    env.reserve_snapshot_capacity(1)
+    assert env.snapshot_cache_size == grown
+
+
+# -- CLI ------------------------------------------------------------------
+
+
+def test_cli_fleet_reports_deterministically(tmp_path, capsys):
+    from repro.cli import main
+
+    args = [
+        "fleet", "--ues", "4", "--duration", "20", "--scenario", "lafayette",
+        "--seed", "7", "--config-seed", "2018",
+    ]
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    assert main(args + ["--out", str(out_a)]) == 0
+    assert main(args + ["--workers", "2", "--out", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+    report = json.loads(out_a.read_text())
+    assert len(report["ues"]) == 4
+    assert report["aggregates"]["n_ues"] == 4
+    assert report["aggregates"]["total_ticks"] == sum(
+        row["n_ticks"] for row in report["ues"]
+    )
