@@ -31,8 +31,11 @@ simulation) with the :mod:`repro.lint` rule engine::
     python -m repro lint --city Chicago --carriers T V
     python -m repro lint --baseline lint-baseline.json --fail-on problem
     python -m repro lint --graph --workers 4   # + handoff-graph verifier
+    python -m repro lint --coverage            # + signal-space analyzer
     python -m repro lint --graph --update-baseline
     python -m repro lint --baseline lint-baseline.json --prune-baseline
+    python -m repro lint --explain             # document every rule
+    python -m repro lint --explain HC401 HC405 # document specific rules
 
 ``snapshot`` captures a fleet's configuration state to a versioned
 file, and ``lint --diff`` gates on what changed between captures —
@@ -138,8 +141,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument("--city", default="world", metavar="NAME",
                              help="'world' (default), 'us', a city name "
-                                  "(e.g. Chicago), or 'loop-fixture' (the "
-                                  "synthetic 3-cell handoff-loop scenario)")
+                                  "(e.g. Chicago), 'loop-fixture' (the "
+                                  "synthetic 3-cell handoff-loop scenario), or "
+                                  "'dead-zone-fixture' (the 2-cell coverage "
+                                  "dead-zone scenario)")
     lint_parser.add_argument("--carriers", nargs="*", default=None, metavar="C",
                              help="restrict the audit to these carriers")
     lint_parser.add_argument("--rules", nargs="*", default=None, metavar="CODE",
@@ -169,10 +174,21 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="also run the handoff-graph verifier "
                                   "(HC2xx: persistent loops, dead layers, "
                                   "priority inversions)")
+    lint_parser.add_argument("--coverage", action="store_true",
+                             help="also run the signal-space coverage "
+                                  "analyzer (HC4xx: dead zones, shadowed "
+                                  "events, TTT contradictions; every finding "
+                                  "carries a replayable witness)")
+    lint_parser.add_argument("--explain", nargs="*", default=None,
+                             metavar="CODE",
+                             help="print rule documentation (description, "
+                                  "severity, scope, minimal triggering "
+                                  "config) for the given codes — or every "
+                                  "registered rule with no codes — and exit")
     lint_parser.add_argument("--workers", type=int, default=None, metavar="N",
-                             help="worker processes for the graph pass "
-                                  "(default serial; reports are byte-identical "
-                                  "at any worker count)")
+                             help="worker processes for the graph/coverage "
+                                  "passes (default serial; reports are "
+                                  "byte-identical at any worker count)")
     lint_parser.add_argument("--extra-rings", type=int, default=0, metavar="K",
                              help="extra deployment rings for world audits "
                                   "(default 0, matching the D2 build)")
@@ -296,6 +312,16 @@ def _resolve_fleet(args: argparse.Namespace):
 
         scenario = loop_fixture(misconfigured=True)
         return scenario.env, scenario.server
+    if args.city == "dead-zone-fixture":
+        from repro.lint.fixtures import dead_zone_fixture
+
+        dead_zone = dead_zone_fixture(misconfigured=True)
+        return dead_zone.env, dead_zone.server
+    if args.city == "dead-zone-fixture-corrected":
+        from repro.lint.fixtures import dead_zone_fixture
+
+        dead_zone = dead_zone_fixture(misconfigured=False)
+        return dead_zone.env, dead_zone.server
     if args.city == "us":
         plan = build_us_deployment(seed=args.seed)
     else:
@@ -344,6 +370,15 @@ def _run_lint(args: argparse.Namespace) -> int:
     from repro.lint import Baseline, exit_code, lint_world, render_text
     from repro.lint.report import RENDERERS
 
+    if args.explain is not None:
+        from repro.lint.explain import render_explain
+
+        try:
+            print(render_explain(args.explain or None))
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        return 0
     if args.diff is not None:
         return _run_lint_diff(args)
     fleet = _resolve_fleet(args)
@@ -367,6 +402,7 @@ def _run_lint(args: argparse.Namespace) -> int:
             codes=args.rules,
             baseline=baseline,
             graph=args.graph,
+            coverage=args.coverage,
             workers=args.workers,
         )
     except KeyError as error:

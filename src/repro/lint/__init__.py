@@ -26,6 +26,14 @@ Layout:
   :func:`diff_lint` regression gate;
 * :mod:`drift_rules` — the HC3xx drift rules evaluated over
   ``(old, new, changes)``;
+* :mod:`coverage` — the signal-space coverage analyzer (HC4xx): per-cell
+  fire-region partitions over the interval algebra, dead zones, shadowed
+  events, TTT contradictions and overlap windows;
+* :mod:`witness` — replayable counterexample witnesses: every HC4xx
+  finding carries a synthesized trajectory that, replayed through the
+  drive simulator, exhibits the predicted failure;
+* :mod:`explain` — per-rule documentation with minimal triggering
+  configuration examples (``repro lint --explain``);
 * :mod:`fixtures` — deterministic misconfigured worlds for tests;
 * :mod:`engine` — snapshot/world audits and the simulation preflight;
 * :mod:`baseline` — suppression files for known-and-accepted findings;
@@ -48,6 +56,13 @@ Drift gating::
 """
 
 from repro.lint.baseline import Baseline
+from repro.lint.coverage import (
+    CoverageAnalyzer,
+    CoverageStats,
+    FireRegion,
+    coverage_gaps,
+    fire_regions,
+)
 from repro.lint.diff import (
     CHANGE_KINDS,
     ConfigChange,
@@ -102,6 +117,13 @@ from repro.lint.rules import (
     select_rules,
 )
 from repro.lint.snapshot import ConfigSnapshot
+from repro.lint.witness import (
+    CoverageWitness,
+    ReplayOutcome,
+    classify_replay,
+    replay_witness,
+    replay_witnesses,
+)
 
 __all__ = [
     "Baseline",
@@ -109,20 +131,30 @@ __all__ = [
     "ConfigChange",
     "ConfigLintWarning",
     "ConfigSnapshot",
+    "CoverageAnalyzer",
+    "CoverageStats",
+    "CoverageWitness",
     "DriftContext",
     "DriftReport",
     "FULL_RSRP",
     "Finding",
+    "FireRegion",
     "GraphAnalyzer",
     "GraphStats",
     "Interval",
     "Issue",
     "LintReport",
     "RegisteredRule",
+    "ReplayOutcome",
     "Rule",
     "SEVERITIES",
     "SEVERITY_RANK",
     "all_rules",
+    "classify_replay",
+    "coverage_gaps",
+    "fire_regions",
+    "replay_witness",
+    "replay_witnesses",
     "blame_change",
     "build_components",
     "cell_policy",

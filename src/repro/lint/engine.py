@@ -17,7 +17,11 @@ Audits optionally include the symbolic handoff-graph verifier
 (:mod:`repro.lint.graph`, rules HC201-HC204) via ``graph=True``; graph
 analysis shards per connected component over :mod:`repro.pipeline`
 workers and re-verifies only components whose member configurations
-changed since the analyzer last saw them.
+changed since the analyzer last saw them.  ``coverage=True`` adds the
+signal-space coverage analyzer (:mod:`repro.lint.coverage`, rules
+HC401-HC405), which shards per cell the same way and attaches a
+replayable :class:`~repro.lint.witness.CoverageWitness` to every
+finding.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.cellnet.world import RadioEnvironment
 from repro.config.profiles import profile_for_carrier
 from repro.core.crawler import CellConfigSnapshot
 from repro.lint.baseline import Baseline
+from repro.lint.coverage import CoverageAnalyzer, CoverageStats
 from repro.lint.findings import (
     Finding,
     count_by_severity,
@@ -42,6 +47,7 @@ from repro.lint.findings import (
 )
 from repro.lint.graph import GraphAnalyzer, GraphStats
 from repro.lint.rules import RegisteredRule, select_rules
+from repro.lint.witness import CoverageWitness
 from repro.rrc.broadcast import ConfigServer
 
 
@@ -61,6 +67,11 @@ class LintReport:
         rules_run: Codes of the rules that ran.
         graph_stats: Counters of the handoff-graph verification pass
             (None when the audit ran without ``graph=True``).
+        coverage_stats: Counters of the signal-space coverage pass
+            (None when the audit ran without ``coverage=True``).
+        witnesses: Replayable counterexamples for coverage findings,
+            keyed by finding fingerprint.  Baseline-suppressed findings
+            drop their witnesses so reporters only see live ones.
     """
 
     findings: list[Finding] = field(default_factory=list)
@@ -68,6 +79,8 @@ class LintReport:
     snapshots_audited: int = 0
     rules_run: tuple[str, ...] = ()
     graph_stats: GraphStats | None = None
+    coverage_stats: CoverageStats | None = None
+    witnesses: dict[str, CoverageWitness] = field(default_factory=dict)
 
     def counts_by_code(self) -> dict[str, int]:
         return summarize(self.findings)
@@ -90,8 +103,10 @@ def lint_snapshots(
     codes: list[str] | None = None,
     baseline: Baseline | None = None,
     graph: bool = False,
+    coverage: bool = False,
     workers: int | None = None,
     graph_analyzer: GraphAnalyzer | None = None,
+    coverage_analyzer: CoverageAnalyzer | None = None,
 ) -> LintReport:
     """Run (all or selected) rules over a list of snapshots.
 
@@ -101,16 +116,26 @@ def lint_snapshots(
         codes: Rule-code filter (default: every registered rule).
         baseline: Optional suppression baseline.
         graph: Also run the handoff-graph verifier (HC2xx rules).
-        workers: Worker processes for the graph pass (None/1 = serial).
+        coverage: Also run the signal-space coverage analyzer (HC4xx
+            rules); every coverage finding carries a replayable witness
+            in :attr:`LintReport.witnesses`.
+        workers: Worker processes for the graph/coverage passes
+            (None/1 = serial).
         graph_analyzer: Analyzer instance to reuse for incremental
             per-component caching (default: a fresh one per call).
+        coverage_analyzer: Analyzer instance to reuse for incremental
+            per-cell caching (default: a fresh one per call).
     """
     if rules is None:
         rules = select_rules(codes)
     # Drift-scope rules need two captures; a single-capture audit can
     # never run them (repro.lint.diff.diff_lint is their engine).
-    snapshot_rules = tuple(r for r in rules if r.scope not in ("graph", "drift"))
+    # Graph and coverage scopes run through their analyzers below.
+    snapshot_rules = tuple(
+        r for r in rules if r.scope not in ("graph", "drift", "coverage")
+    )
     graph_codes = tuple(r.code for r in rules if r.scope == "graph")
+    coverage_codes = tuple(r.code for r in rules if r.scope == "coverage")
     findings: list[Finding] = []
     for registered in snapshot_rules:
         findings.extend(registered.check(snapshots))
@@ -122,17 +147,35 @@ def lint_snapshots(
             snapshots, codes=graph_codes, workers=workers
         )
         findings.extend(graph_findings)
-        rules_run = tuple(r.code for r in snapshot_rules) + graph_codes
+        rules_run = rules_run + graph_codes
+    coverage_stats: CoverageStats | None = None
+    witnesses: dict[str, CoverageWitness] = {}
+    if coverage and coverage_codes:
+        cov = (
+            coverage_analyzer
+            if coverage_analyzer is not None
+            else CoverageAnalyzer()
+        )
+        coverage_findings, coverage_stats, witnesses = cov.analyze(
+            snapshots, codes=coverage_codes, workers=workers
+        )
+        findings.extend(coverage_findings)
+        rules_run = rules_run + coverage_codes
     findings = sort_findings(findings)
     suppressed: list[Finding] = []
     if baseline is not None:
         findings, suppressed = baseline.split(findings)
+    if witnesses:
+        live = {f.fingerprint for f in findings}
+        witnesses = {fp: w for fp, w in witnesses.items() if fp in live}
     return LintReport(
         findings=findings,
         suppressed=suppressed,
         snapshots_audited=len(snapshots),
         rules_run=rules_run,
         graph_stats=graph_stats,
+        coverage_stats=coverage_stats,
+        witnesses=witnesses,
     )
 
 
@@ -206,8 +249,10 @@ def lint_world(
     codes: list[str] | None = None,
     baseline: Baseline | None = None,
     graph: bool = False,
+    coverage: bool = False,
     workers: int | None = None,
     graph_analyzer: GraphAnalyzer | None = None,
+    coverage_analyzer: CoverageAnalyzer | None = None,
 ) -> LintReport:
     """Audit a whole deployed world (or fleet subset) in one pass."""
     snapshots = world_snapshots(
@@ -218,8 +263,10 @@ def lint_world(
         codes=codes,
         baseline=baseline,
         graph=graph,
+        coverage=coverage,
         workers=workers,
         graph_analyzer=graph_analyzer,
+        coverage_analyzer=coverage_analyzer,
     )
 
 

@@ -1,0 +1,356 @@
+"""``repro lint --explain``: human documentation for every rule.
+
+Each registered rule has a hand-written explanation — what the check
+means in the paper's terms, why it matters operationally, and a minimal
+configuration example that triggers it.  The examples use the repo's
+own dataclass constructors so they double as copy-paste reproductions:
+feed the example config to :func:`repro.lint.engine.lint_snapshots`
+(or the analyzer the rule's scope names) and the rule fires.
+
+A test asserts every code in the registry has an entry here, so adding
+a rule without documentation fails CI (:func:`missing_explanations`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.rules import all_rules, get_rule
+
+#: description, minimal triggering example — keyed by rule code.
+_EXPLANATIONS: dict[str, tuple[str, str]] = {
+    "HC001": (
+        "A configured parameter value falls outside the domain the"
+        " standard allots it (TS 36.331 value ranges); such values"
+        " either get clamped by equipment or silently disable the"
+        " feature, so the deployed behavior no longer matches intent.",
+        "EventConfig(event=EventType.A3, offset=3.0, hysteresis=-1.0)\n"
+        "# hysteresis below the standardized [0, 15] dB domain",
+    ),
+    "HC002": (
+        "A negative A3 offset makes the 'neighbor better than serving'"
+        " event fire while the neighbor is still *weaker*, misdirecting"
+        " handoffs toward inferior cells or deferring them outright.",
+        "EventConfig(event=EventType.A3, offset=-2.0, hysteresis=0.5)",
+    ),
+    "HC003": (
+        "An A5 threshold1 of -44 dBm (the reporting ceiling) imposes no"
+        " serving-cell requirement at all: the event degenerates to"
+        " 'any neighbor above threshold2', the paper's Section 4.1"
+        " unconditional-handoff configuration.",
+        "EventConfig(event=EventType.A5, threshold1=-44.0,\n"
+        "            threshold2=-112.0, hysteresis=1.0)",
+    ),
+    "HC004": (
+        "The A5 candidate threshold (threshold2) sits below the serving"
+        " threshold (threshold1): the cell hands off to targets weaker"
+        " than the serving level that triggered the handoff, trading a"
+        " bad link for a worse one.",
+        "EventConfig(event=EventType.A5, threshold1=-100.0,\n"
+        "            threshold2=-110.0, hysteresis=1.0)",
+    ),
+    "HC005": (
+        "Theta_nonintra (s_non_intra_search_p) exceeds Theta_intra"
+        " (s_intra_search_p): the cell starts measuring other-frequency"
+        " neighbors before same-frequency ones, inverting the paper's"
+        " measurement-cost ordering.",
+        "ServingCellConfig(s_intra_search_p=10.0, s_non_intra_search_p=20.0)",
+    ),
+    "HC006": (
+        "Theta_intra sits far above the reselection decision threshold:"
+        " devices burn battery measuring intra-frequency neighbors long"
+        " before any reselection could act on the measurements.",
+        "ServingCellConfig(s_intra_search_p=40.0, thresh_serving_low_p=6.0)",
+    ),
+    "HC007": (
+        "Theta_nonintra sits below the decision threshold: by the time"
+        " the device starts measuring other layers it is already past"
+        " the point where it should have reselected — handoff-too-late"
+        " in idle mode.",
+        "ServingCellConfig(s_non_intra_search_p=2.0, thresh_serving_low_p=6.0)",
+    ),
+    "HC008": (
+        "s-Measure gates neighbor measurement to serving levels below"
+        " an armed event's serving threshold: the event's entry"
+        " condition can be satisfied while measurement is still off, so"
+        " it fires late or never.",
+        "MeasurementConfig(\n"
+        "    events=(EventConfig(event=EventType.A5, threshold1=-80.0,\n"
+        "                        threshold2=-95.0, hysteresis=1.0),),\n"
+        "    s_measure=-100.0)  # gate opens 20 dB below the A5 serving clause",
+    ),
+    "HC009": (
+        "The A3 offset+hysteresis algebra leaves a band where cell A"
+        " prefers B while B simultaneously prefers A; only the TTT"
+        " separates the pair from handoff ping-pong (paper Section"
+        " 4.2's instability condition).",
+        "EventConfig(event=EventType.A3, offset=0.5, hysteresis=0.5,\n"
+        "            time_to_trigger_ms=40)",
+    ),
+    "HC010": (
+        "A permissive A5 pair (wide leave/entry window, short TTT)"
+        " leaves only the time-to-trigger between handoff loops of"
+        " comparable cells — the interval-algebra generalization of"
+        " HC009 for absolute-threshold events.",
+        "EventConfig(event=EventType.A5, threshold1=-95.0,\n"
+        "            threshold2=-108.0, hysteresis=0.5,\n"
+        "            time_to_trigger_ms=40)",
+    ),
+    "HC011": (
+        "An armed event's entry condition is unsatisfiable inside the"
+        " measurable RSRP range (e.g. a neighbor threshold above the"
+        " ceiling after hysteresis): the event is dead weight that can"
+        " never fire.",
+        "EventConfig(event=EventType.A4, threshold1=-44.0, hysteresis=2.0)\n"
+        "# neighbor must exceed -42 dBm: above the reporting ceiling",
+    ),
+    "HC012": (
+        "Two armed events share type and metric: one is redundant, and"
+        " whichever has the laxer thresholds silently decides every"
+        " handoff, making the other's tuning illusory.",
+        "MeasurementConfig(events=(\n"
+        "    EventConfig(event=EventType.A4, threshold1=-100.0),\n"
+        "    EventConfig(event=EventType.A4, threshold1=-95.0)))",
+    ),
+    "HC101": (
+        "One EARFCN is observed with different serving-cell reselection"
+        " priorities on different cells: devices crossing cells on the"
+        " same layer see the layer's rank flip, destabilizing idle-mode"
+        " camping.",
+        "# cell 1: ServingCellConfig(cell_reselection_priority=4)\n"
+        "# cell 2, same channel: ServingCellConfig(cell_reselection_priority=6)",
+    ),
+    "HC102": (
+        "Cells disagree about an *inter-freq layer's* priority: the"
+        " same target layer is ranked differently depending on which"
+        " cell the device camps on, producing asymmetric reselection"
+        " flows between the same two layers.",
+        "# cell 1: InterFreqLayerConfig(dl_carrier_freq=1975,\n"
+        "#             cell_reselection_priority=7)\n"
+        "# cell 2: InterFreqLayerConfig(dl_carrier_freq=1975,\n"
+        "#             cell_reselection_priority=2)",
+    ),
+    "HC103": (
+        "Channel A ranks channel B higher while B ranks A higher: a"
+        " priority preference cycle. Idle devices bounce between the"
+        " layers indefinitely — the network-scope loop the paper"
+        " measured as persistent reselection churn.",
+        "# cell on ch 850:  InterFreqLayerConfig(dl_carrier_freq=1975,\n"
+        "#                     cell_reselection_priority=7)  # own priority 4\n"
+        "# cell on ch 1975: InterFreqLayerConfig(dl_carrier_freq=850,\n"
+        "#                     cell_reselection_priority=7)  # own priority 4",
+    ),
+    "HC104": (
+        "The leave threshold of one layer and the entry threshold of"
+        " the next leave a gap (or overlap) in RSRP space: devices in"
+        " the gap oscillate between layers on every evaluation cycle.",
+        "# serving: thresh_serving_low_p=6.0 (leave below -116 dBm)\n"
+        "# target layer: thresh_x_low_p=20.0 (enter above -102 dBm)\n"
+        "# -116..-102 dBm: neither layer retains the device",
+    ),
+    "HC201": (
+        "The symbolic handoff-policy graph contains a k-cell cycle"
+        " whose connected-mode (event-driven) edge conditions are"
+        " simultaneously satisfiable: a persistent handoff loop is"
+        " *statically guaranteed* for some RSRP assignment, before any"
+        " simulation.",
+        "# 3 cells, each arming A5(threshold1=-44, threshold2=-112)\n"
+        "# toward the next cell's channel: see\n"
+        "# repro.lint.fixtures.loop_fixture(misconfigured=True)",
+    ),
+    "HC202": (
+        "Like HC201 but over idle-mode reselection edges: priority and"
+        " threshold configurations admit a reselection cycle that"
+        " drains stationary devices' batteries.",
+        "# ring of InterFreqLayerConfig entries, each granting the next\n"
+        "# channel cell_reselection_priority=7 with thresh_x_high_p=0.0",
+    ),
+    "HC203": (
+        "A configured neighbor layer is undeployed in the audited world"
+        " (or its entry threshold unsatisfiable): measurement effort is"
+        " spent on a target no device can ever reach.",
+        "InterFreqLayerConfig(dl_carrier_freq=39150,  # no such deployment\n"
+        "                     cell_reselection_priority=5)",
+    ),
+    "HC204": (
+        "A strictly-higher-priority preference cycle spans RATs (LTE ->"
+        " UTRA -> LTE): cross-technology reselection ping-pong that"
+        " per-RAT audits cannot see.",
+        "# LTE cell:  InterRatUtraConfig(cell_reselection_priority=6)\n"
+        "# UTRA cell: prefers the LTE layer back at priority 6 (own 4)",
+    ),
+    "HC301": (
+        "A configuration change introduced a handoff loop that the"
+        " previous capture did not have: the drift differ attributes"
+        " the new HC201/HC103-class cycle to the specific change that"
+        " created it.",
+        "# old: InterFreqLayerConfig(..., cell_reselection_priority=2)\n"
+        "# new: InterFreqLayerConfig(..., cell_reselection_priority=7)\n"
+        "# -> closes a preference cycle with the reverse direction",
+    ),
+    "HC302": (
+        "A change opened (or widened) an inter-channel threshold gap"
+        " between captures: a reselection dead band that regressed, not"
+        " merely existed.",
+        "# old: thresh_x_low_p=6.0   new: thresh_x_low_p=20.0\n"
+        "# the entry floor rose 14 dB past the serving leave level",
+    ),
+    "HC303": (
+        "A parameter flips back and forth across the capture timeline"
+        " (A -> B -> A): operational churn the paper observed in"
+        " longitudinal crawls, usually a tug-of-war between tools.",
+        "# capture 1: hysteresis=2.0; capture 2: hysteresis=0.0;\n"
+        "# capture 3: hysteresis=2.0",
+    ),
+    "HC304": (
+        "A change widened an event's ping-pong RSRP window (the overlap"
+        " of leave and entry regions): every dB of widening is more"
+        " signal space where comparable cells trade the device.",
+        "# old: A5 threshold1=-100, threshold2=-95 (window 0 dB)\n"
+        "# new: A5 threshold1=-95,  threshold2=-108 (window 13 dB)",
+    ),
+    "HC305": (
+        "A baseline suppression stopped matching after this change: the"
+        " underlying finding was fixed (or mutated), so the suppression"
+        " entry is stale and should be pruned with --update-baseline.",
+        "# baseline pins HC004 at cell 0x2A01; the new capture's A5\n"
+        "# thresholds are corrected, so the pin no longer matches",
+    ),
+    "HC401": (
+        "Signal-space dead zone: a sub-band of the critical serving-"
+        "RSRP region [-128, -115] dBm that no handoff-capable event"
+        " covers. A connected device degrading through it has no"
+        " configured escape until radio-link failure — the static"
+        " signature of the paper's handoff-too-late failures. Every"
+        " finding carries a replayable trajectory witness.",
+        "MeasurementConfig(\n"
+        "    events=(EventConfig(event=EventType.A5, threshold1=-126.0,\n"
+        "                        threshold2=-121.0, hysteresis=1.0,\n"
+        "                        time_to_trigger_ms=1024),),\n"
+        "    s_measure=-44.0)\n"
+        "# A5 leaves only below -127 dBm: [-127, -115] dBm is uncovered",
+    ),
+    "HC402": (
+        "Shadowed event: another event of the same report family covers"
+        " the shadowed event's entire serving and neighbor entry region"
+        " with an equal-or-shorter TTT, so the shadowed event can never"
+        " be the decisive trigger — its tuning is dead configuration.",
+        "MeasurementConfig(events=(\n"
+        "    EventConfig(event=EventType.A4, threshold1=-100.0,\n"
+        "                hysteresis=1.0, time_to_trigger_ms=100),\n"
+        "    EventConfig(event=EventType.A5, threshold1=-110.0,\n"
+        "                threshold2=-95.0, hysteresis=1.0,\n"
+        "                time_to_trigger_ms=480)))\n"
+        "# the A4 fires anywhere the A5 could, 380 ms sooner",
+    ),
+    "HC403": (
+        "Measurement-gap hole: A2 (serving-below) arms neighbor"
+        " measurement only below a serving level at which the target-"
+        "entry thresholds would require an implausible neighbor"
+        " advantage (>25 dB over a cell-edge serving signal) — by the"
+        " time measurement starts, the handoff it feeds is unreachable.",
+        "MeasurementConfig(\n"
+        "    events=(EventConfig(event=EventType.A2, threshold1=-120.0,\n"
+        "                        hysteresis=1.0),\n"
+        "            EventConfig(event=EventType.A4, threshold1=-90.0,\n"
+        "                        hysteresis=1.0)),\n"
+        "    s_measure=-44.0)\n"
+        "# A2 gates at -121 dBm; A4 needs a neighbor above -89 dBm",
+    ),
+    "HC404": (
+        "TTT-vs-fading contradiction: the event's fire region is so"
+        " close to radio-link failure that, at a vehicular edge-decay"
+        " rate, the device crosses the region faster than the time-to-"
+        "trigger — the entry condition cannot hold long enough to"
+        " complete before the link is lost.",
+        "EventConfig(event=EventType.A5, threshold1=-126.0,\n"
+        "            threshold2=-121.0, hysteresis=1.0,\n"
+        "            time_to_trigger_ms=1024)\n"
+        "# fire region [-140, -127): 1 dB of dwell for a 1024 ms TTT",
+    ),
+    "HC405": (
+        "Leave/entry overlap: the serving-leave and target-entry"
+        " thresholds of one event overlap in RSRP space, so two cells"
+        " both inside the window satisfy each other's handoff condition"
+        " simultaneously — a symbolic ping-pong window, replayable as a"
+        " stationary park witness that oscillates.",
+        "EventConfig(event=EventType.A5, threshold1=-95.0,\n"
+        "            threshold2=-110.0, hysteresis=1.0,\n"
+        "            time_to_trigger_ms=100)\n"
+        "# leave below -96 dBm overlaps entry above -109 dBm: 13 dB window",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RuleExplanation:
+    """One rule's registry metadata joined with its documentation."""
+
+    code: str
+    name: str
+    severity: str
+    scope: str
+    summary: str
+    description: str
+    example: str
+
+
+def explain(code: str) -> RuleExplanation:
+    """The explanation for one rule code (raises KeyError if unknown)."""
+    registered = get_rule(code)
+    try:
+        description, example = _EXPLANATIONS[code]
+    except KeyError:
+        raise KeyError(f"rule {code} has no explanation entry") from None
+    return RuleExplanation(
+        code=registered.code,
+        name=registered.name,
+        severity=registered.severity,
+        scope=registered.scope,
+        summary=registered.summary,
+        description=description,
+        example=example,
+    )
+
+
+def missing_explanations() -> tuple[str, ...]:
+    """Registered rule codes lacking an explanation (CI gate: empty)."""
+    return tuple(
+        r.code for r in all_rules() if r.code not in _EXPLANATIONS
+    )
+
+
+def render_explanation(explanation: RuleExplanation) -> str:
+    """Terminal rendering of one rule's documentation."""
+    lines = [
+        f"{explanation.code} {explanation.name} "
+        f"[{explanation.severity}, {explanation.scope} scope]",
+        f"  {explanation.summary}",
+        "",
+    ]
+    lines.extend(f"  {line}".rstrip() for line in _wrap(explanation.description))
+    lines.append("")
+    lines.append("  minimal triggering configuration:")
+    lines.extend(f"    {line}".rstrip() for line in explanation.example.splitlines())
+    return "\n".join(lines)
+
+
+def render_explain(codes: list[str] | None = None) -> str:
+    """Render explanations for the given codes (default: every rule)."""
+    wanted = codes if codes else [r.code for r in all_rules()]
+    return "\n\n".join(render_explanation(explain(code)) for code in wanted)
+
+
+def _wrap(text: str, width: int = 70) -> list[str]:
+    words = text.split()
+    lines: list[str] = []
+    current = ""
+    for word in words:
+        if current and len(current) + 1 + len(word) > width:
+            lines.append(current)
+            current = word
+        else:
+            current = f"{current} {word}" if current else word
+    if current:
+        lines.append(current)
+    return lines

@@ -1,4 +1,4 @@
-"""Synthetic misconfiguration scenarios for the graph verifier.
+"""Synthetic misconfiguration scenarios for the graph and coverage verifiers.
 
 The centerpiece is :func:`loop_fixture`: a deliberately misconfigured
 3-cell LTE deployment whose configurations chain every cell to the next
@@ -10,6 +10,13 @@ of this world contains a 3-layer cycle that is *statically guaranteed*
 enters the loop.  The ``misconfigured=False`` twin keeps the same
 deployment but sane thresholds and flat priorities: the analyzer stays
 quiet and the simulator performs no handoffs.
+
+:func:`dead_zone_fixture` is the coverage analyzer's counterpart: a
+2-cell deployment whose A5 thresholds sit below the radio-link-failure
+level, leaving the whole critical band [-127, -115] dBm uncovered
+(HC401 dead zone, plus an HC404 TTT-vs-fading contradiction in the
+1 dB sliver the event *can* fire in).  Its corrected twin arms the same
+event family at sane levels and is HC4xx-clean.
 
 Configurations are injected through :class:`StaticConfigServer`, a
 :class:`~repro.rrc.broadcast.ConfigServer` whose cells broadcast fixed,
@@ -191,5 +198,109 @@ def loop_fixture(misconfigured: bool = True) -> LoopScenario:
         server=server,
         cells=tuple(cells),
         centroid=centroid,
+        misconfigured=misconfigured,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dead-zone fixture (coverage analyzer, HC401/HC404)
+
+#: Carrier and LTE channels of the dead-zone fixture.
+DEAD_ZONE_CARRIER = "A"
+DEAD_ZONE_CHANNELS = (850, 1975)
+
+#: City label of the dead-zone fixture cells.
+DEAD_ZONE_CITY = "DeadZoneFixture"
+
+#: Fixture plane origin, away from the loop fixture and every city.
+_DEAD_ZONE_ORIGIN = Point(5_500_000.0, 5_000_000.0)
+
+#: Inter-site distance: far enough apart that a device leaving one
+#: cell's service area degrades through the whole critical band before
+#: the other cell becomes dominant.
+_DEAD_ZONE_SPACING_M = 2_600.0
+
+
+@dataclass
+class DeadZoneScenario:
+    """The dead-zone fixture bundle."""
+
+    plan: DeploymentPlan
+    env: RadioEnvironment
+    server: StaticConfigServer
+    cells: tuple[Cell, ...]
+    misconfigured: bool
+
+
+def _dead_zone_config(index: int, misconfigured: bool) -> LteCellConfig:
+    """Configuration of dead-zone fixture cell ``index`` (0-based).
+
+    Misconfigured: the A5 serving-leave threshold (-126 dBm, hysteresis
+    1) only opens *below* -127 dBm — past radio-link failure — so no
+    handoff-capable event covers the critical band [-127, -115] dBm
+    (HC401), and the 1 dB band the event can fire in passes faster than
+    its 1024 ms time-to-trigger (HC404).  Corrected: the same A5 leaves
+    at serving < -107 dBm toward a target above -105 dBm, covering the
+    critical band with dwell to spare.
+    """
+    other = DEAD_ZONE_CHANNELS[(index + 1) % len(DEAD_ZONE_CHANNELS)]
+    layer = InterFreqLayerConfig(
+        dl_carrier_freq=other,
+        cell_reselection_priority=4,
+        thresh_x_high_p=12.0,
+    )
+    if misconfigured:
+        event = EventConfig(
+            event=EventType.A5,
+            threshold1=-126.0,  # leave only below -127 dBm: past RLF
+            threshold2=-121.0,
+            hysteresis=1.0,
+            time_to_trigger_ms=1024,
+        )
+    else:
+        event = EventConfig(
+            event=EventType.A5,
+            threshold1=-106.0,
+            threshold2=-106.0,
+            hysteresis=1.0,
+            time_to_trigger_ms=480,
+        )
+    return LteCellConfig(
+        serving=ServingCellConfig(cell_reselection_priority=4),
+        inter_freq_layers=(layer,),
+        measurement=MeasurementConfig(events=(event,), s_measure=-44.0),
+    )
+
+
+def dead_zone_fixture(misconfigured: bool = True) -> DeadZoneScenario:
+    """Build the 2-cell dead-zone world (or its corrected twin).
+
+    Deterministic: same flag, same world, same configurations.
+    """
+    plan = DeploymentPlan()
+    cells = []
+    for index, channel in enumerate(DEAD_ZONE_CHANNELS):
+        location = _DEAD_ZONE_ORIGIN.offset(index * _DEAD_ZONE_SPACING_M, 0.0)
+        cell = Cell(
+            cell_id=CellId(DEAD_ZONE_CARRIER, plan.next_gci(DEAD_ZONE_CARRIER)),
+            rat=RAT.LTE,
+            channel=channel,
+            pci=150 + index,
+            location=location,
+            city=DEAD_ZONE_CITY,
+        )
+        plan.registry.add(cell)
+        cells.append(cell)
+    env = RadioEnvironment(plan)
+    configs = {
+        cell.cell_id: _dead_zone_config(index, misconfigured)
+        for index, cell in enumerate(cells)
+    }
+    server = StaticConfigServer(env, configs)
+    return DeadZoneScenario(
+        plan=plan,
+        env=env,
+        server=server,
+        cells=tuple(cells),
         misconfigured=misconfigured,
     )

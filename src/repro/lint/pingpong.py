@@ -58,40 +58,144 @@ A5_RISK_TTT_MS = 640
 
 @dataclass(frozen=True, order=True)
 class Interval:
-    """A closed signal-level interval ``[lo, hi]`` in dBm (or dB).
+    """A signal-level interval in dBm (or dB), closed by default.
 
     The symbolic building block shared by the 2-cell ping-pong algebra
-    here and the k-cell handoff-graph verifier in
-    :mod:`repro.lint.graph`: every feasible-transition edge carries the
-    interval of serving/target levels under which its trigger condition
-    holds.  ``lo > hi`` encodes the empty interval.
+    here, the k-cell handoff-graph verifier in :mod:`repro.lint.graph`
+    and the signal-space coverage analyzer in
+    :mod:`repro.lint.coverage`: every feasible-transition edge and every
+    event fire region carries the interval of serving/target levels
+    under which its trigger condition holds.
+
+    Endpoint semantics are explicit: ``lo_open``/``hi_open`` exclude the
+    corresponding bound, so the strict inequalities of TS 36.331 entry
+    conditions (``Ms + Hys < Thresh`` -> ``[floor, Thresh - Hys)``) are
+    representable exactly.  The default (both closed) preserves the
+    historical behaviour of the two-positional-argument call sites.
+
+    Emptiness: ``lo > hi``, or ``lo == hi`` with either endpoint open
+    (a degenerate single-point interval ``[x, x]`` is non-empty; its
+    half-open or open variants are empty).
     """
 
     lo: float
     hi: float
+    lo_open: bool = False
+    hi_open: bool = False
 
     @property
     def empty(self) -> bool:
         """Whether no value satisfies the interval."""
-        return self.lo > self.hi
+        if self.lo > self.hi:
+            return True
+        return self.lo == self.hi and (self.lo_open or self.hi_open)
 
     @property
     def width(self) -> float:
-        """Length of the interval in dB (0 when empty)."""
+        """Length of the interval in dB (0 when empty).
+
+        Open endpoints do not change the measure: ``(a, b)`` and
+        ``[a, b]`` are both ``b - a`` wide.
+        """
+        if self.empty:
+            return 0.0
         return max(0.0, self.hi - self.lo)
 
     def intersect(self, other: "Interval") -> "Interval":
-        """The interval of values satisfying both constraints."""
-        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+        """The interval of values satisfying both constraints.
+
+        On a tied bound the open endpoint wins (the intersection must
+        exclude a value either operand excludes).
+        """
+        if other.lo > self.lo:
+            lo, lo_open = other.lo, other.lo_open
+        elif other.lo < self.lo:
+            lo, lo_open = self.lo, self.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open or other.lo_open
+        if other.hi < self.hi:
+            hi, hi_open = other.hi, other.hi_open
+        elif other.hi > self.hi:
+            hi, hi_open = self.hi, self.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open or other.hi_open
+        return Interval(lo, hi, lo_open, hi_open)
 
     def contains(self, value: float) -> bool:
-        """Whether ``value`` lies inside the (closed) interval."""
-        return self.lo <= value <= self.hi
+        """Whether ``value`` lies inside the interval."""
+        if self.empty:
+            return False
+        above_lo = value > self.lo if self.lo_open else value >= self.lo
+        below_hi = value < self.hi if self.hi_open else value <= self.hi
+        return above_lo and below_hi
+
+    def covers(self, other: "Interval") -> bool:
+        """Whether every value of ``other`` lies inside ``self``.
+
+        The empty interval is covered by everything; nothing but another
+        (superset-shaped) interval covers a non-empty one.
+        """
+        if other.empty:
+            return True
+        if self.empty:
+            return False
+        lo_ok = self.lo < other.lo or (
+            self.lo == other.lo and (not self.lo_open or other.lo_open)
+        )
+        hi_ok = self.hi > other.hi or (
+            self.hi == other.hi and (not self.hi_open or other.hi_open)
+        )
+        return lo_ok and hi_ok
+
+    def overlaps_or_touches(self, other: "Interval") -> bool:
+        """Whether the union of the two intervals is one interval.
+
+        Touching bounds merge only when at least one side is closed at
+        the shared point: ``[a, b] u [b, c]`` and ``[a, b) u [b, c]``
+        are single intervals, ``[a, b) u (b, c]`` leaves the gap
+        ``{b}``.
+        """
+        if self.empty or other.empty:
+            return False
+        first, second = (self, other) if self.lo <= other.lo else (other, self)
+        if second.lo < first.hi:
+            return True
+        if second.lo > first.hi:
+            return False
+        return not (first.hi_open and second.lo_open)
+
+    def union(self, other: "Interval") -> "Interval | None":
+        """The union, when it is a single interval; None otherwise.
+
+        An empty operand is the identity; two disjoint non-empty
+        intervals (a real gap between them) return None.
+        """
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        if not self.overlaps_or_touches(other):
+            return None
+        if self.lo < other.lo:
+            lo, lo_open = self.lo, self.lo_open
+        elif self.lo > other.lo:
+            lo, lo_open = other.lo, other.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open and other.lo_open
+        if self.hi > other.hi:
+            hi, hi_open = self.hi, self.hi_open
+        elif self.hi < other.hi:
+            hi, hi_open = other.hi, other.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open and other.hi_open
+        return Interval(lo, hi, lo_open, hi_open)
 
     def __str__(self) -> str:
         if self.empty:
             return "(empty)"
-        return f"[{self.lo:g}, {self.hi:g}] dBm"
+        left = "(" if self.lo_open else "["
+        right = ")" if self.hi_open else "]"
+        return f"{left}{self.lo:g}, {self.hi:g}{right} dBm"
 
 
 #: Every reportable RSRP value: the unconstrained edge annotation.
@@ -113,27 +217,37 @@ def a3_separation_band(config: EventConfig) -> float:
 def a5_serving_interval(config: EventConfig) -> Interval:
     """Serving levels under which the A5/B2 serving clause holds.
 
-    ``Ms + Hys < Thresh1`` (closed-interval approximation); a threshold
-    at the reporting ceiling places no requirement on the serving cell.
+    ``Ms + Hys < Thresh1`` is strict, so the interval is half-open:
+    ``[floor, Thresh1 - Hys)``.  A threshold at the reporting ceiling
+    places no requirement on the serving cell.
     """
     assert config.threshold1 is not None
-    return Interval(RSRP_FLOOR_DBM, config.threshold1 - config.hysteresis)
+    return Interval(
+        RSRP_FLOOR_DBM, config.threshold1 - config.hysteresis, hi_open=True
+    )
 
 
 def a5_neighbor_interval(config: EventConfig) -> Interval:
     """Neighbor levels under which the A5/B2 neighbor clause holds.
 
-    ``Mn + Ofn - Hys > Thresh2`` with Ofn = 0 (frequency offsets are not
-    known statically).
+    ``Mn + Ofn - Hys > Thresh2`` (strict) with Ofn = 0 (frequency
+    offsets are not known statically): ``(Thresh2 + Hys, ceiling]``.
     """
     assert config.threshold2 is not None
-    return Interval(config.threshold2 + config.hysteresis, RSRP_CEILING_DBM)
+    return Interval(
+        config.threshold2 + config.hysteresis, RSRP_CEILING_DBM, lo_open=True
+    )
 
 
 def a4_neighbor_interval(config: EventConfig) -> Interval:
-    """Neighbor levels under which the A4/B1 entry condition holds."""
+    """Neighbor levels under which the A4/B1 entry condition holds.
+
+    ``Mn + Ofn - Hys > Thresh`` (strict): ``(Thresh + Hys, ceiling]``.
+    """
     assert config.threshold1 is not None
-    return Interval(config.threshold1 + config.hysteresis, RSRP_CEILING_DBM)
+    return Interval(
+        config.threshold1 + config.hysteresis, RSRP_CEILING_DBM, lo_open=True
+    )
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,14 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
             + (f" ({stats.cycles_truncated} components truncated)"
                if stats.cycles_truncated else "")
         )
+    cov = report.coverage_stats
+    if cov is not None:
+        lines.append(
+            f"coverage: {cov.cells} cells "
+            f"({cov.cells_analyzed} analyzed, {cov.cells_cached} cached), "
+            f"{cov.regions} fire regions, {cov.gaps} critical-band gaps, "
+            f"{cov.witnesses} replayable witnesses"
+        )
     counts = report.counts_by_code()
     if counts:
         names = {rule.code: rule.name for rule in all_rules()}
@@ -73,6 +81,9 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
         lines.append(
             f"{prefix}{finding.code} [{finding.severity}] {where}: {finding.message}"
         )
+        witness = report.witnesses.get(finding.fingerprint)
+        if witness is not None:
+            lines.append(f"    witness ({witness.kind}): {witness.note}")
     severities = report.counts_by_severity()
     lines.append(
         f"{severities['problem']} problems, {severities['warning']} warnings, "
@@ -95,10 +106,30 @@ def render_json(report: LintReport) -> str:
     }
     if report.graph_stats is not None:
         payload["graph_stats"] = asdict(report.graph_stats)
+    if report.coverage_stats is not None:
+        payload["coverage_stats"] = asdict(report.coverage_stats)
+    if report.witnesses:
+        payload["witnesses"] = {
+            fingerprint: witness.to_dict()
+            for fingerprint, witness in sorted(report.witnesses.items())
+        }
     return json.dumps(payload, indent=2)
 
 
-def _sarif_rules(ran: set[str]) -> list[dict[str, object]]:
+def _sarif_rules(
+    rules_run: tuple[str, ...] | list[str],
+    findings: list[Finding],
+) -> list[dict[str, object]]:
+    """Rule metadata for ``tool.driver.rules``.
+
+    Derived from the union of the rules that ran and the codes present
+    in the results, so every result's ``ruleId`` resolves even when the
+    findings come from a pass whose codes are not in ``rules_run``
+    (e.g. drift findings carried in a gate report).  Iterating the
+    registry — where each code appears exactly once, in code order —
+    guarantees no duplicate entries when rule families mix.
+    """
+    wanted = set(rules_run) | {finding.code for finding in findings}
     return [
         {
             "id": rule.code,
@@ -107,7 +138,7 @@ def _sarif_rules(ran: set[str]) -> list[dict[str, object]]:
             "defaultConfiguration": {"level": SARIF_LEVELS[rule.severity]},
         }
         for rule in all_rules()
-        if rule.code in ran
+        if rule.code in wanted
     ]
 
 
@@ -169,12 +200,19 @@ def render_sarif(report: LintReport) -> str:
 
     Cells have no file locations, so each result carries a synthetic
     ``logicalLocations`` entry (carrier/gci) plus the raw identifiers in
-    ``properties``.
+    ``properties``.  Coverage findings embed their replayable witness in
+    the result's ``properties``.
     """
-    return _sarif_payload(
-        _sarif_rules(set(report.rules_run)),
-        [_sarif_result(finding) for finding in report.findings],
-    )
+    results = []
+    for finding in report.findings:
+        result = _sarif_result(finding)
+        witness = report.witnesses.get(finding.fingerprint)
+        if witness is not None:
+            properties = result["properties"]
+            assert isinstance(properties, dict)
+            properties["witness"] = witness.to_dict()
+        results.append(result)
+    return _sarif_payload(_sarif_rules(report.rules_run, report.findings), results)
 
 
 RENDERERS = {
@@ -293,7 +331,7 @@ def render_diff_sarif(report: "DriftReport") -> str:
         for finding in report.findings
     ]
     return _sarif_payload(
-        _sarif_rules(set(report.rules_run)),
+        _sarif_rules(report.rules_run, report.findings),
         results,
         run_properties={
             "mode": "diff",

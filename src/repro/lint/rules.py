@@ -17,7 +17,13 @@ A lint rule is a pure function over crawled configuration state:
   captures plus the semantic changes between them — and catch
   *regressions*: problems a reconfiguration introduced that a
   single-capture audit cannot attribute (:mod:`repro.lint.drift_rules`).
-  Only :func:`repro.lint.diff.diff_lint` runs them.
+  Only :func:`repro.lint.diff.diff_lint` runs them;
+* **coverage** rules run per cell over the signal-space fire-region
+  partition computed by :mod:`repro.lint.coverage`; the engine routes
+  them through the :class:`~repro.lint.coverage.CoverageAnalyzer` (which
+  shards per cell and synthesizes a replayable
+  :class:`~repro.lint.witness.CoverageWitness` for every finding) rather
+  than the snapshot pass.
 
 Rules yield lightweight :class:`Issue` drafts; the engine stamps them
 into full :class:`~repro.lint.findings.Finding` records with the rule's
@@ -35,7 +41,7 @@ from repro.core.crawler import CellConfigSnapshot
 from repro.lint.findings import SEVERITIES, Finding
 
 #: Rule scopes.
-SCOPES = ("cell", "network", "graph", "drift")
+SCOPES = ("cell", "network", "graph", "drift", "coverage")
 
 
 @dataclass(frozen=True)
@@ -132,12 +138,15 @@ def rule(
 
     Args:
         code: Stable ``HCnnn`` code (1xx = network scope, 2xx = graph
-            scope, 3xx = drift scope by convention).
+            scope, 3xx = drift scope, 4xx = coverage scope by
+            convention).
         name: Human-readable kebab-case slug.
         scope: "cell" (function takes one snapshot), "network"
             (function takes the full snapshot list), "graph" (function
-            takes one policy-graph component) or "drift" (function
-            takes a :class:`~repro.lint.diff.DriftContext`).
+            takes one policy-graph component), "drift" (function takes
+            a :class:`~repro.lint.diff.DriftContext`) or "coverage"
+            (function takes one snapshot; executed per cell by the
+            :class:`~repro.lint.coverage.CoverageAnalyzer`).
         severity: Default severity; individual issues may override.
         summary: One-line description used by reporters and ``--help``.
     """
@@ -185,6 +194,7 @@ def _ensure_loaded() -> None:
     """Import the built-in rule modules (registration side effect)."""
     from repro.lint import (  # noqa: F401
         cell_rules,
+        coverage,
         drift_rules,
         graph,
         network_rules,

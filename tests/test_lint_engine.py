@@ -247,7 +247,12 @@ def test_committed_baseline_covers_default_fleet():
     baseline_path = Path(__file__).resolve().parents[1] / "lint-baseline.json"
     baseline = Baseline.load(baseline_path)
     report = lint_world(
-        env, server, max_cells_per_carrier=60, baseline=baseline, graph=True
+        env,
+        server,
+        max_cells_per_carrier=60,
+        baseline=baseline,
+        graph=True,
+        coverage=True,
     )
     assert report.findings == []
     assert len(report.suppressed) == len(baseline)

@@ -1,0 +1,74 @@
+"""``repro lint --explain`` documentation tests.
+
+The contract: every registered rule — present and future — has an
+explanation with a description and a minimal triggering configuration
+example, and the CLI renders them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.lint.explain import (
+    explain,
+    missing_explanations,
+    render_explain,
+    render_explanation,
+)
+from repro.lint.rules import all_rules
+
+
+def test_every_registered_rule_has_an_explanation():
+    assert missing_explanations() == ()
+
+
+def test_explanation_carries_registry_metadata():
+    for registered in all_rules():
+        explanation = explain(registered.code)
+        assert explanation.code == registered.code
+        assert explanation.name == registered.name
+        assert explanation.severity == registered.severity
+        assert explanation.scope == registered.scope
+        assert explanation.summary == registered.summary
+        assert explanation.description.strip()
+        assert explanation.example.strip()
+
+
+def test_render_explanation_shows_all_fields():
+    text = render_explanation(explain("HC401"))
+    assert "HC401" in text
+    assert "dead-zone" in text
+    assert "[problem, coverage scope]" in text
+    assert "minimal triggering configuration:" in text
+    assert "threshold1=-126.0" in text
+
+
+def test_render_explain_defaults_to_every_rule():
+    text = render_explain()
+    for registered in all_rules():
+        assert registered.code in text
+
+
+def test_unknown_code_raises():
+    with pytest.raises(KeyError):
+        explain("HC999")
+
+
+def test_cli_explain_single_rule(capsys):
+    assert main(["lint", "--explain", "HC405"]) == 0
+    out = capsys.readouterr().out
+    assert "HC405 leave-entry-overlap" in out
+    assert "minimal triggering configuration:" in out
+
+
+def test_cli_explain_all_rules(capsys):
+    assert main(["lint", "--explain"]) == 0
+    out = capsys.readouterr().out
+    for registered in all_rules():
+        assert registered.code in out
+
+
+def test_cli_explain_unknown_code(capsys):
+    assert main(["lint", "--explain", "HC999"]) == 2
+    assert "HC999" in capsys.readouterr().err

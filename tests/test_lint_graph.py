@@ -121,7 +121,7 @@ def test_loop_fixture_reports_hc201_with_cycle_and_interval():
         "cell 3 (LTE ch2000) -> cell 1 (LTE ch850)" in message
     )
     # ...plus the satisfying RSRP window and the trigger that carries it.
-    assert "satisfying RSRP window [-111, -45] dBm" in message
+    assert "satisfying RSRP window (-111, -45) dBm" in message
     assert "via A5" in message
     assert full_ring[0].severity == "problem"
 

@@ -1,0 +1,189 @@
+"""Endpoint-semantics tests for the interval algebra.
+
+The ping-pong/graph passes historically used closed intervals with an
+undocumented half-open reading of strict TS 36.331 inequalities; the
+coverage analyzer needs the endpoint semantics to be explicit.  These
+tests pin down the degenerate and touching-boundary cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.events import EventConfig, EventType
+from repro.lint.pingpong import (
+    EMPTY_INTERVAL,
+    FULL_RSRP,
+    Interval,
+    a4_neighbor_interval,
+    a5_neighbor_interval,
+    a5_serving_interval,
+)
+
+
+class TestDegenerateIntervals:
+    def test_closed_single_point_is_nonempty(self):
+        point = Interval(-100.0, -100.0)
+        assert not point.empty
+        assert point.width == 0.0
+        assert point.contains(-100.0)
+
+    def test_open_single_point_variants_are_empty(self):
+        assert Interval(-100.0, -100.0, lo_open=True).empty
+        assert Interval(-100.0, -100.0, hi_open=True).empty
+        assert Interval(-100.0, -100.0, lo_open=True, hi_open=True).empty
+
+    def test_inverted_bounds_stay_empty(self):
+        assert Interval(0.0, -1.0).empty
+        assert EMPTY_INTERVAL.empty
+        assert not EMPTY_INTERVAL.contains(0.0)
+
+    def test_empty_interval_has_zero_width(self):
+        assert Interval(-100.0, -100.0, hi_open=True).width == 0.0
+        assert EMPTY_INTERVAL.width == 0.0
+
+
+class TestContains:
+    def test_open_endpoints_exclude_bounds(self):
+        half = Interval(-120.0, -100.0, hi_open=True)
+        assert half.contains(-120.0)
+        assert half.contains(-110.0)
+        assert not half.contains(-100.0)
+        strict = Interval(-120.0, -100.0, lo_open=True, hi_open=True)
+        assert not strict.contains(-120.0)
+        assert not strict.contains(-100.0)
+
+    def test_closed_default_matches_historical_behaviour(self):
+        closed = Interval(-120.0, -100.0)
+        assert closed.contains(-120.0)
+        assert closed.contains(-100.0)
+
+
+class TestIntersect:
+    def test_open_wins_on_tied_bound(self):
+        a = Interval(-120.0, -100.0, hi_open=True)
+        b = Interval(-110.0, -100.0)
+        meet = a.intersect(b)
+        assert meet == Interval(-110.0, -100.0, hi_open=True)
+        assert not meet.contains(-100.0)
+
+    def test_touching_closed_bounds_meet_in_a_point(self):
+        a = Interval(-120.0, -100.0)
+        b = Interval(-100.0, -80.0)
+        meet = a.intersect(b)
+        assert not meet.empty
+        assert meet.lo == meet.hi == -100.0
+
+    def test_touching_with_an_open_side_is_empty(self):
+        a = Interval(-120.0, -100.0, hi_open=True)
+        b = Interval(-100.0, -80.0)
+        assert a.intersect(b).empty
+
+    def test_strict_interior_bound_keeps_its_openness(self):
+        a = Interval(-120.0, -90.0)
+        b = Interval(-110.0, -80.0, lo_open=True)
+        meet = a.intersect(b)
+        assert meet.lo == -110.0 and meet.lo_open
+        assert meet.hi == -90.0 and not meet.hi_open
+
+
+class TestUnionAndTouching:
+    def test_touching_closed_bounds_merge(self):
+        a = Interval(-120.0, -100.0)
+        b = Interval(-100.0, -80.0)
+        assert a.overlaps_or_touches(b)
+        assert a.union(b) == Interval(-120.0, -80.0)
+
+    def test_half_open_touching_closed_merges(self):
+        a = Interval(-120.0, -100.0, hi_open=True)
+        b = Interval(-100.0, -80.0)
+        assert a.union(b) == Interval(-120.0, -80.0)
+
+    def test_open_open_touch_leaves_a_point_gap(self):
+        a = Interval(-120.0, -100.0, hi_open=True)
+        b = Interval(-100.0, -80.0, lo_open=True)
+        assert not a.overlaps_or_touches(b)
+        assert a.union(b) is None
+
+    def test_disjoint_intervals_do_not_merge(self):
+        assert Interval(-120.0, -110.0).union(Interval(-100.0, -90.0)) is None
+
+    def test_empty_is_union_identity(self):
+        a = Interval(-120.0, -100.0, hi_open=True)
+        assert a.union(EMPTY_INTERVAL) == a
+        assert EMPTY_INTERVAL.union(a) == a
+
+    def test_union_is_commutative_on_overlap(self):
+        a = Interval(-120.0, -95.0, lo_open=True)
+        b = Interval(-100.0, -80.0, hi_open=True)
+        assert a.union(b) == b.union(a) == Interval(
+            -120.0, -80.0, lo_open=True, hi_open=True
+        )
+
+
+class TestCovers:
+    def test_closed_covers_open_at_shared_bound(self):
+        outer = Interval(-120.0, -100.0)
+        inner = Interval(-120.0, -100.0, lo_open=True, hi_open=True)
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+
+    def test_everything_covers_empty(self):
+        assert EMPTY_INTERVAL.covers(EMPTY_INTERVAL)
+        assert Interval(-90.0, -80.0).covers(EMPTY_INTERVAL)
+        assert not EMPTY_INTERVAL.covers(Interval(-90.0, -80.0))
+
+    def test_full_range_covers_event_intervals(self):
+        config = EventConfig(
+            event=EventType.A5, threshold1=-100.0, threshold2=-95.0,
+            hysteresis=2.0,
+        )
+        assert FULL_RSRP.covers(a5_serving_interval(config))
+        assert FULL_RSRP.covers(a5_neighbor_interval(config))
+
+
+class TestEventIntervalsAreStrict:
+    def test_a5_serving_clause_is_half_open(self):
+        config = EventConfig(
+            event=EventType.A5, threshold1=-100.0, threshold2=-95.0,
+            hysteresis=2.0,
+        )
+        serving = a5_serving_interval(config)
+        assert serving.hi == -102.0
+        assert serving.hi_open
+        assert not serving.contains(-102.0)
+        assert serving.contains(-102.5)
+
+    def test_a5_neighbor_clause_is_half_open(self):
+        config = EventConfig(
+            event=EventType.A5, threshold1=-100.0, threshold2=-95.0,
+            hysteresis=2.0,
+        )
+        neighbor = a5_neighbor_interval(config)
+        assert neighbor.lo == -93.0
+        assert neighbor.lo_open
+        assert not neighbor.contains(-93.0)
+        assert neighbor.contains(-92.5)
+
+    def test_a4_neighbor_clause_is_half_open(self):
+        config = EventConfig(
+            event=EventType.A4, threshold1=-105.0, hysteresis=1.0,
+        )
+        neighbor = a4_neighbor_interval(config)
+        assert neighbor.lo == -104.0
+        assert neighbor.lo_open
+
+    def test_str_renders_endpoint_style(self):
+        assert str(Interval(-120.0, -100.0)) == "[-120, -100] dBm"
+        assert str(Interval(-120.0, -100.0, hi_open=True)) == "[-120, -100) dBm"
+        assert str(Interval(-120.0, -100.0, lo_open=True)) == "(-120, -100] dBm"
+        assert str(EMPTY_INTERVAL) == "(empty)"
+
+
+@pytest.mark.parametrize("lo_open", [False, True])
+@pytest.mark.parametrize("hi_open", [False, True])
+def test_intersect_with_self_is_identity(lo_open, hi_open):
+    interval = Interval(-110.0, -90.0, lo_open=lo_open, hi_open=hi_open)
+    assert interval.intersect(interval) == interval
+    assert interval.union(interval) == interval
+    assert interval.covers(interval)

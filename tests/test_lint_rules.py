@@ -44,7 +44,9 @@ def test_registry_covers_all_scopes():
     codes = [r.code for r in rules]
     assert codes == sorted(codes)
     assert len(codes) == len(set(codes))
-    assert {r.scope for r in rules} == {"cell", "network", "graph", "drift"}
+    assert {r.scope for r in rules} == {
+        "cell", "network", "graph", "drift", "coverage"
+    }
     assert len(rules) >= 20
 
 
